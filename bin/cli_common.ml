@@ -1,0 +1,64 @@
+(* Shared pieces of the command-line tools: circuit loading (from a
+   `.bench` file or the built-in suite) and pattern-set sourcing. *)
+
+open Cmdliner
+
+let load_circuit bench suite =
+  match (bench, suite) with
+  | Some path, None -> (
+    try
+      if Filename.check_suffix path ".v" then Ok (Verilog_io.parse_file path)
+      else Ok (Bench_io.parse_file path)
+    with
+    | Bench_io.Parse_error (line, msg) | Verilog_io.Parse_error (line, msg) ->
+      Error (Printf.sprintf "%s:%d: %s" path line msg)
+    | Sys_error msg -> Error msg)
+  | None, Some name -> (
+    match Generators.find_suite name with
+    | Some net -> Ok net
+    | None ->
+      Error
+        (Printf.sprintf "unknown suite circuit %S (try: %s)" name
+           (String.concat ", " (List.map fst (Generators.suite ())))))
+  | Some _, Some _ -> Error "give either --bench or --circuit, not both"
+  | None, None -> Error "a circuit is required: --bench FILE or --circuit NAME"
+
+let bench_arg =
+  let doc =
+    "Read the circuit from a netlist file: ISCAS `.bench', or structural \
+     Verilog when the name ends in `.v'."
+  in
+  Arg.(value & opt (some file) None & info [ "bench" ] ~docv:"FILE" ~doc)
+
+let suite_arg =
+  let doc = "Use a built-in benchmark circuit (see Table 1: c17, add8, alu8, ...)." in
+  Arg.(value & opt (some string) None & info [ "c"; "circuit" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+(* Pattern source: an explicit file, or the in-repo ATPG flow. *)
+let patterns_arg =
+  let doc = "Read test patterns from a file (one 0/1 line per pattern)." in
+  Arg.(value & opt (some file) None & info [ "patterns" ] ~docv:"FILE" ~doc)
+
+let load_patterns net patterns_file =
+  match patterns_file with
+  | Some path ->
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let pats = Pattern.of_text text in
+    if Pattern.npis pats <> Netlist.num_pis net then
+      Error
+        (Printf.sprintf "pattern width %d does not match circuit PI count %d"
+           (Pattern.npis pats) (Netlist.num_pis net))
+    else Ok pats
+  | None -> Ok (Campaign.test_set net)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    exit 1

@@ -1,0 +1,70 @@
+(* Diagnosis tool: read a circuit, its test set and a tester datalog, and
+   run one of the three diagnosis engines.
+
+     dune exec bin/diagnose.exe -- --circuit alu8 --datalog fail.datalog
+     dune exec bin/diagnose.exe -- --circuit alu8 --datalog fail.datalog \
+       --method slat *)
+
+open Cmdliner
+
+let datalog_arg =
+  let doc = "Tester datalog file (lines: `fail <pattern> : <po> <po> ...')." in
+  Arg.(required & opt (some file) None & info [ "datalog" ] ~docv:"FILE" ~doc)
+
+let method_arg =
+  let doc = "Diagnosis engine: noassume (the paper's method), slat or single." in
+  Arg.(
+    value
+    & opt (enum [ ("noassume", `Noassume); ("slat", `Slat); ("single", `Single) ]) `Noassume
+    & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let no_validate_arg =
+  let doc = "Disable multiplet validation/refinement (ablation)." in
+  Arg.(value & flag & info [ "no-validate" ] ~doc)
+
+let run bench suite patterns_file datalog_file method_ no_validate =
+  let net = Cli_common.or_die (Cli_common.load_circuit bench suite) in
+  let pats = Cli_common.or_die (Cli_common.load_patterns net patterns_file) in
+  let dlog =
+    let ic = open_in datalog_file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    try
+      Datalog.of_text ~npatterns:(Pattern.count pats) ~npos:(Netlist.num_pos net) text
+    with Invalid_argument msg -> Cli_common.or_die (Error msg)
+  in
+  Format.printf "circuit: %a@." Netlist.pp_stats net;
+  Format.printf "datalog: %d failing patterns over %d outputs@."
+    (Datalog.num_failing dlog) (Netlist.num_pos net);
+  match method_ with
+  | `Noassume ->
+    let config = { Noassume.default_config with validate = not no_validate } in
+    let r = Noassume.diagnose ~config net pats dlog in
+    print_string (Report.render net r)
+  | `Slat ->
+    let m = Explain.build net pats dlog in
+    let r = Slat_diag.diagnose m pats in
+    print_string (Report.render_slat net r)
+  | `Single ->
+    let r = Single_diag.diagnose net pats dlog in
+    print_string (Report.render_single net r)
+
+let cmd =
+  let doc = "locate multiple defects from a tester datalog" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Implements the DAC 2008 method: per-failing-output candidate \
+         analysis, greedy covering, and multiplet validation by \
+         simultaneous multiple-fault simulation — no assumption that \
+         failing patterns are SLAT or that a single defect is present.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "diagnose" ~doc ~man)
+    Term.(
+      const run $ Cli_common.bench_arg $ Cli_common.suite_arg $ Cli_common.patterns_arg
+      $ datalog_arg $ method_arg $ no_validate_arg)
+
+let () = exit (Cmd.eval cmd)

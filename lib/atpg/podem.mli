@@ -1,0 +1,26 @@
+(** PODEM automatic test pattern generation for net stuck-at faults.
+
+    Classic PODEM (Goel 1981): decisions are made only on primary inputs,
+    objectives are derived by backtracing through the circuit, and every
+    decision is validated by three-valued implication of the good and the
+    faulty machine.  Used by {!Tpg} to top up random patterns to (near-)
+    complete stuck-at coverage, which is the test-set quality diagnosis
+    experiments assume. *)
+
+type result =
+  | Test of bool array
+      (** A PI vector detecting the fault.  Unassigned inputs are filled
+          with deterministic pseudo-random values. *)
+  | Untestable
+      (** Proven redundant: the decision space was exhausted. *)
+  | Aborted
+      (** Backtrack limit hit before a proof either way. *)
+
+val generate :
+  ?backtrack_limit:int ->
+  ?fill_seed:int ->
+  Netlist.t ->
+  Fault_list.fault ->
+  result
+(** [generate t fault] searches for a test for [fault].  The default
+    backtrack limit is 512. *)

@@ -1,0 +1,82 @@
+type result = {
+  multiplets : Fault_list.fault list list;
+  minimum : int option;
+  complete : bool;
+  nodes : int;
+}
+
+let solve ?(max_size = 8) ?(max_solutions = 16) ?(node_budget = 200_000) m =
+  let candidates = Explain.candidates m in
+  let ncand = Array.length candidates in
+  let nobs = Array.length (Explain.observations m) in
+  if nobs = 0 then { multiplets = [ [] ]; minimum = Some 0; complete = true; nodes = 0 }
+  else begin
+    let covers = Array.init ncand (fun c -> Explain.covers m c) in
+    (* Candidates able to explain each observation. *)
+    let per_obs = Array.make nobs [] in
+    for c = ncand - 1 downto 0 do
+      Bitvec.iter_set covers.(c) (fun oi -> per_obs.(oi) <- c :: per_obs.(oi))
+    done;
+    if Array.exists (fun l -> l = []) per_obs then
+      { multiplets = []; minimum = None; complete = true; nodes = 0 }
+    else begin
+      let best = ref (max_size + 1) in
+      let solutions = Hashtbl.create 16 in
+      let nodes = ref 0 in
+      let complete = ref true in
+      let record chosen =
+        let size = List.length chosen in
+        if size < !best then begin
+          best := size;
+          Hashtbl.reset solutions
+        end;
+        if size = !best && Hashtbl.length solutions < max_solutions then begin
+          let key = List.sort compare chosen in
+          Hashtbl.replace solutions key ()
+        end
+      in
+      (* Branch on the uncovered observation with the fewest explainers
+         (most constrained first), trying each of its candidates. *)
+      let rec go uncovered chosen =
+        incr nodes;
+        if !nodes > node_budget then complete := false
+        else if Bitvec.is_empty uncovered then record chosen
+        else if List.length chosen + 1 <= !best then begin
+          let pivot = ref (-1) in
+          let pivot_width = ref max_int in
+          Bitvec.iter_set uncovered (fun oi ->
+              let width = List.length per_obs.(oi) in
+              if width < !pivot_width then begin
+                pivot_width := width;
+                pivot := oi
+              end);
+          List.iter
+            (fun c ->
+              if (not (List.mem c chosen)) && !complete then begin
+                let remaining = Bitvec.copy uncovered in
+                Bitvec.diff_into ~dst:remaining covers.(c);
+                go remaining (c :: chosen)
+              end)
+            per_obs.(!pivot)
+        end
+      in
+      let all = Bitvec.create nobs in
+      Bitvec.fill all true;
+      go all [];
+      let multiplets =
+        Hashtbl.fold (fun key () acc -> List.map (fun c -> candidates.(c)) key :: acc)
+          solutions []
+        |> List.sort compare
+      in
+      let minimum = if multiplets = [] then None else Some !best in
+      { multiplets; minimum; complete = !complete; nodes = !nodes }
+    end
+  end
+
+let agrees_with_greedy m greedy =
+  let r = solve m in
+  if not r.complete then None
+  else
+    match r.minimum with
+    | None -> Some false
+    | Some minimum -> Some (List.length greedy = minimum)

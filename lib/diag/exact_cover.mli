@@ -1,0 +1,32 @@
+(** Exact minimum-cardinality covering — the reference the greedy engine
+    is measured against.
+
+    The covering step of {!Noassume} is greedy for speed; this module
+    solves the same instance exactly by branch and bound, enumerating
+    {e all} minimum-size multiplets that cover every failing observation.
+    It is exponential in the worst case and meant for the ablation bench
+    and for small, high-stakes cases (a failure analyst holding one die
+    can afford minutes), so the search is budgeted and reports whether it
+    completed. *)
+
+type result = {
+  multiplets : Fault_list.fault list list;
+      (** All minimum-cardinality covers found (each sorted), up to
+          [max_solutions]; empty when the observations cannot be covered
+          at all. *)
+  minimum : int option;  (** Cardinality of the minimum cover, if any. *)
+  complete : bool;
+      (** False when the node budget was exhausted — the result is then
+          a best effort, not a proof of minimality. *)
+  nodes : int;  (** Search nodes expanded. *)
+}
+
+val solve :
+  ?max_size:int -> ?max_solutions:int -> ?node_budget:int -> Explain.t -> result
+(** [solve m] covers the observation rows of the explanation matrix with
+    stuck-line candidates.  Defaults: [max_size = 8],
+    [max_solutions = 16], [node_budget = 200_000]. *)
+
+val agrees_with_greedy : Explain.t -> Fault_list.fault list -> bool option
+(** Does the greedy multiplet have minimum cardinality?  [None] when the
+    exact search did not complete. *)

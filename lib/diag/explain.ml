@@ -1,0 +1,142 @@
+type t = {
+  net : Netlist.t;
+  dlog : Datalog.t;
+  candidates : Fault_list.fault array;
+  observations : Datalog.observation array;
+  failing : int array;
+  covers : Bitvec.t array;
+  matched : int array array; (* candidate x failing-pattern *)
+  spurious : int array array;
+  mispredict_pass : int array;
+  nfail_pos : int array; (* failing-pattern -> #failing POs *)
+}
+
+let netlist t = t.net
+let datalog t = t.dlog
+let candidates t = t.candidates
+let observations t = t.observations
+let failing t = t.failing
+let covers t c = t.covers.(c)
+let matched t c fp = t.matched.(c).(fp)
+let spurious t c fp = t.spurious.(c).(fp)
+let exact t c fp = t.matched.(c).(fp) = t.nfail_pos.(fp) && t.spurious.(c).(fp) = 0
+
+let mispredict_fail t c = Array.fold_left ( + ) 0 t.spurious.(c)
+let mispredict_pass t c = t.mispredict_pass.(c)
+
+(* Candidate seeds: both stuck polarities of every net in the union of
+   the fan-in cones of the outputs that failed at least once.  Any single
+   site whose error reached an observed-failing output lies in that
+   union, so — unlike value-based critical path tracing, which can drop
+   the true origin at reconvergent stems — the seed pool is structurally
+   complete.  Simulation then prunes it: a candidate that covers no
+   observation is never selected. *)
+let seed_candidates net dlog =
+  let in_pool = Array.make (Netlist.num_nets net) false in
+  let failing_pos = Hashtbl.create 16 in
+  Array.iter
+    (fun (ob : Datalog.observation) -> Hashtbl.replace failing_pos ob.po ())
+    (Datalog.observations dlog);
+  Hashtbl.iter
+    (fun oi () ->
+      let cone = Netlist.fanin_cone net (Netlist.pos net).(oi) in
+      Array.iteri (fun n b -> if b then in_pool.(n) <- true) cone)
+    failing_pos;
+  let l = ref [] in
+  for n = Netlist.num_nets net - 1 downto 0 do
+    if in_pool.(n) then
+      l := { Fault_list.site = n; stuck = false } :: { site = n; stuck = true } :: !l
+  done;
+  Array.of_list !l
+
+let build net pats dlog =
+  let candidates = seed_candidates net dlog in
+  let ncand = Array.length candidates in
+  let observations = Datalog.observations dlog in
+  let nobs = Array.length observations in
+  let failing = Array.of_list (Datalog.failing_patterns dlog) in
+  let nfp = Array.length failing in
+  let fail_index = Hashtbl.create nfp in
+  Array.iteri (fun i p -> Hashtbl.add fail_index p i) failing;
+  let obs_index = Hashtbl.create nobs in
+  Array.iteri
+    (fun i (ob : Datalog.observation) -> Hashtbl.add obs_index (ob.pattern, ob.po) i)
+    observations;
+  let nfail_pos = Array.map (fun p -> List.length (Datalog.failing_pos dlog p)) failing in
+  let covers = Array.init ncand (fun _ -> Bitvec.create nobs) in
+  let matched = Array.make_matrix ncand nfp 0 in
+  let spurious = Array.make_matrix ncand nfp 0 in
+  let mispredict_pass = Array.make ncand 0 in
+  let sim = Fault_sim.create net in
+  List.iter
+    (fun block ->
+      let width = block.Pattern.width in
+      let good = Logic_sim.simulate_block net block in
+      (* Per-pattern flags of this block. *)
+      let fail_mask = ref 0 in
+      for k = 0 to width - 1 do
+        if Datalog.is_failing dlog (block.Pattern.base + k) then
+          fail_mask := !fail_mask lor (1 lsl k)
+      done;
+      Array.iteri
+        (fun c f ->
+          let diffs =
+            Fault_sim.po_diffs sim ~good ~width ~site:f.Fault_list.site
+              ~stuck:f.Fault_list.stuck
+          in
+          let any = ref 0 in
+          List.iter
+            (fun (oi, d) ->
+              any := !any lor d;
+              let rec each w =
+                if w <> 0 then begin
+                  let k =
+                    (* lowest set bit index *)
+                    let rec lg v acc = if v land 1 = 1 then acc else lg (v lsr 1) (acc + 1) in
+                    lg w 0
+                  in
+                  let p = block.Pattern.base + k in
+                  (match Hashtbl.find_opt fail_index p with
+                  | Some fp -> (
+                    match Hashtbl.find_opt obs_index (p, oi) with
+                    | Some obs ->
+                      Bitvec.set covers.(c) obs true;
+                      matched.(c).(fp) <- matched.(c).(fp) + 1
+                    | None -> spurious.(c).(fp) <- spurious.(c).(fp) + 1)
+                  | None -> ());
+                  each (w land (w - 1))
+                end
+              in
+              each d)
+            diffs;
+          (* Passing patterns where the candidate predicts any failure. *)
+          let pass_pred = !any land lnot !fail_mask land Logic.mask_of_width width in
+          let rec popcount w acc = if w = 0 then acc else popcount (w land (w - 1)) (acc + 1) in
+          mispredict_pass.(c) <- mispredict_pass.(c) + popcount pass_pred 0)
+        candidates)
+    (Pattern.blocks pats);
+  {
+    net;
+    dlog;
+    candidates;
+    observations;
+    failing;
+    covers;
+    matched;
+    spurious;
+    mispredict_pass;
+    nfail_pos;
+  }
+
+let find_candidate t f =
+  let n = Array.length t.candidates in
+  let rec bsearch lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      match Fault_list.compare_fault t.candidates.(mid) f with
+      | 0 -> Some mid
+      | c when c < 0 -> bsearch (mid + 1) hi
+      | _ -> bsearch lo mid
+  in
+  bsearch 0 n

@@ -1,0 +1,61 @@
+(** The explanation matrix — per-failing-output candidate analysis.
+
+    This is the data structure behind "no assumptions on failing pattern
+    characteristics": the unit of explanation is one failing
+    [(pattern, output)] observation, never a whole pattern response.
+
+    Candidates are net-level stuck lines (both polarities) seeded from
+    the union of fan-in cones of the failing outputs — a structurally
+    complete pool, unlike value-based critical path tracing, which can
+    drop the true origin at reconvergent stems (see {!Path_trace}) — and
+    then validated by explicit single-fault simulation: candidate [c]
+    {e covers} observation [(p, o)] iff simulating [c] alone on pattern
+    [p] flips output [o].  What [c] predicts at {e other} outputs is
+    recorded as misprediction counts but does not disqualify it — under
+    multiple defects, other defects explain or mask the rest.  The
+    SLAT-style exactness flag is also computed here so that the SLAT
+    baseline and Table 2 share one simulation pass. *)
+
+type t
+
+val build : Netlist.t -> Pattern.t -> Datalog.t -> t
+(** One pass of seeding + simulation.  Cost: O(|candidates| x |blocks|)
+    event-driven fault simulations. *)
+
+val netlist : t -> Netlist.t
+val datalog : t -> Datalog.t
+
+val candidates : t -> Fault_list.fault array
+(** The validated seed pool (deduplicated, ascending). *)
+
+val observations : t -> Datalog.observation array
+(** All failing observations, the rows to be covered. *)
+
+val failing : t -> int array
+(** Failing pattern indices, ascending ([failing_index] inverse). *)
+
+val covers : t -> int -> Bitvec.t
+(** [covers t c]: bit per observation index — the observations candidate
+    [c] explains. *)
+
+val matched : t -> int -> int -> int
+(** [matched t c fp]: on failing pattern [failing t.(fp)], how many of
+    its observed failing outputs candidate [c] flips. *)
+
+val spurious : t -> int -> int -> int
+(** [spurious t c fp]: outputs candidate [c] flips on that failing
+    pattern that were observed passing. *)
+
+val exact : t -> int -> int -> bool
+(** SLAT exactness: candidate [c] reproduces failing pattern [fp]'s
+    response exactly (all failing outputs, nothing else). *)
+
+val mispredict_fail : t -> int -> int
+(** Total spurious predictions over all failing patterns. *)
+
+val mispredict_pass : t -> int -> int
+(** Number of passing patterns on which the candidate predicts at least
+    one failure. *)
+
+val find_candidate : t -> Fault_list.fault -> int option
+(** Index of a fault in the candidate pool. *)

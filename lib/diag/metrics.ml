@@ -1,0 +1,68 @@
+type quality = {
+  injected : int;
+  reported : int;
+  hits : int;
+  diagnosability : float;
+  success : bool;
+  resolution : float;
+  first_hit_rank : int option;
+}
+
+(* All nets a callout on [net] is allowed to match for a defect involving
+   [net]: the net itself plus the sites of structurally equivalent stuck
+   faults. *)
+let equivalent_sites collapsed net =
+  let sites = Hashtbl.create 8 in
+  Hashtbl.replace sites net ();
+  List.iter
+    (fun stuck ->
+      List.iter
+        (fun f -> Hashtbl.replace sites f.Fault_list.site ())
+        (Fault_list.class_of collapsed { Fault_list.site = net; stuck }))
+    [ false; true ];
+  sites
+
+let evaluate net ~injected ~callouts =
+  let collapsed = Fault_list.collapse net in
+  let targets =
+    List.map
+      (fun d ->
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun n ->
+            Hashtbl.iter (fun s () -> Hashtbl.replace tbl s ()) (equivalent_sites collapsed n))
+          (Defect.nets d);
+        tbl)
+      injected
+  in
+  let hit = Array.make (List.length injected) false in
+  let first_hit_rank = ref None in
+  List.iteri
+    (fun rank c ->
+      List.iteri
+        (fun di tbl ->
+          if Hashtbl.mem tbl c then begin
+            if not hit.(di) then hit.(di) <- true;
+            if !first_hit_rank = None then first_hit_rank := Some (rank + 1)
+          end)
+        targets)
+    callouts;
+  let hits = Array.fold_left (fun acc h -> acc + Bool.to_int h) 0 hit in
+  let ninj = List.length injected in
+  {
+    injected = ninj;
+    reported = List.length callouts;
+    hits;
+    diagnosability = Stats.ratio hits ninj;
+    success = hits = ninj && ninj > 0;
+    resolution = Stats.ratio (List.length callouts) ninj;
+    first_hit_rank = !first_hit_rank;
+  }
+
+let aggregate qs =
+  let n = List.length qs in
+  if n = 0 then (0.0, 0.0, 0.0)
+  else
+    ( Stats.mean (List.map (fun q -> q.diagnosability) qs),
+      Stats.ratio (List.length (List.filter (fun q -> q.success) qs)) n,
+      Stats.mean (List.map (fun q -> q.resolution) qs) )

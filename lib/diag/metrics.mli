@@ -1,0 +1,26 @@
+(** Diagnosis quality metrics against injected ground truth.
+
+    A callout {e hits} an injected defect when it names one of the
+    defect's involved nets or any net carrying a structurally equivalent
+    stuck fault (equivalent faults are indistinguishable by any test, so
+    penalising them would be noise, and every diagnosis paper scores
+    modulo equivalence). *)
+
+type quality = {
+  injected : int;  (** Number of injected defects. *)
+  reported : int;  (** Number of callout sites. *)
+  hits : int;  (** Injected defects matched by some callout. *)
+  diagnosability : float;  (** hits / injected. *)
+  success : bool;  (** Every injected defect was hit. *)
+  resolution : float;  (** reported / injected — candidates the failure
+                           analyst must inspect per real defect. *)
+  first_hit_rank : int option;  (** 1-based rank of the first hitting
+                                    callout, in report order. *)
+}
+
+val evaluate :
+  Netlist.t -> injected:Defect.t list -> callouts:Netlist.net list -> quality
+(** [callouts] in report order (rank 1 first). *)
+
+val aggregate : quality list -> float * float * float
+(** [(mean diagnosability, success rate, mean resolution)] over trials. *)

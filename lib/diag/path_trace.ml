@@ -1,0 +1,45 @@
+let critical_inputs kind input_values =
+  let n = Array.length input_values in
+  let result = Array.make n false in
+  (match kind with
+  | Gate.Input | Gate.Const _ -> ()
+  | Gate.Buf | Gate.Not -> result.(0) <- true
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+    let c =
+      match Gate.controlling kind with Some c -> c | None -> assert false
+    in
+    let controllers = ref 0 in
+    Array.iter (fun v -> if v = c then incr controllers) input_values;
+    if !controllers = 0 then Array.fill result 0 n true
+    else if !controllers = 1 then
+      Array.iteri (fun i v -> if v = c then result.(i) <- true) input_values
+  | Gate.Xor | Gate.Xnor -> Array.fill result 0 n true);
+  result
+
+let trace t ~values ~po =
+  if Array.length values <> Netlist.num_nets t then
+    invalid_arg "Path_trace.trace: values array size mismatch";
+  let critical = Array.make (Netlist.num_nets t) false in
+  (* Depth-first from the failing output; a net is expanded once. *)
+  let rec visit n =
+    if not critical.(n) then begin
+      critical.(n) <- true;
+      let fanin = Netlist.fanin t n in
+      if Array.length fanin > 0 then begin
+        let input_values = Array.map (fun src -> values.(src)) fanin in
+        let crit = critical_inputs (Netlist.kind t n) input_values in
+        Array.iteri (fun i src -> if crit.(i) then visit src) fanin
+      end
+    end
+  in
+  visit po;
+  critical
+
+let trace_pattern t ~values ~pos =
+  let acc = Array.make (Netlist.num_nets t) false in
+  List.iter
+    (fun po ->
+      let c = trace t ~values ~po in
+      Array.iteri (fun i b -> if b then acc.(i) <- true) c)
+    pos;
+  acc

@@ -1,0 +1,26 @@
+(** Critical path tracing (effect-cause candidate extraction).
+
+    Starting from a failing primary output under one pattern's
+    good-machine values, trace backwards through *critical* gate inputs —
+    inputs whose lone inversion flips the gate output.  Every traced net
+    is a place where a single value change could have produced the
+    observed failure, i.e. an initial defect-site candidate.
+
+    Classic caveat: with reconvergent fanout a multiple-path sensitisation
+    can make the trace miss or over-include nets.  The diagnosis engine
+    therefore treats traced nets as a *seed pool* and re-validates every
+    candidate by explicit fault simulation (see {!Explain}). *)
+
+val critical_inputs : Gate.kind -> bool array -> bool array
+(** [critical_inputs kind input_values]: which fanin positions are
+    critical for a gate of [kind] under those input values.  For an AND
+    with a single 0 input, only that input; with several 0 inputs, none;
+    with all 1, every input.  XOR-family gates: every input. *)
+
+val trace : Netlist.t -> values:bool array -> po:Netlist.net -> bool array
+(** [trace t ~values ~po]: per-net critical flags for the cone of [po]
+    under the given full-circuit good values ([po] itself included). *)
+
+val trace_pattern :
+  Netlist.t -> values:bool array -> pos:Netlist.net list -> bool array
+(** Union of {!trace} over several failing outputs of one pattern. *)

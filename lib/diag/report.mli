@@ -1,0 +1,9 @@
+(** Human-readable rendering of diagnosis results. *)
+
+val render : Netlist.t -> Noassume.result -> string
+(** Multi-line report: multiplet, per-site callouts with fault models and
+    inferred aggressors, match score. *)
+
+val render_single : Netlist.t -> Single_diag.result -> string
+
+val render_slat : Netlist.t -> Slat_diag.result -> string

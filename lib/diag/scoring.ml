@@ -1,0 +1,80 @@
+type score = {
+  explained : int;
+  missed : int;
+  spurious_fail : int;
+  spurious_pass : int;
+}
+
+let total_observations s = s.explained + s.missed
+
+(* Missing an observed failure weighs far more than predicting an extra
+   one: a stuck-line multiplet standing in for a pattern-dependent defect
+   (open, intermittent, bridge) over-predicts by construction, and that
+   must not be cheaper than explaining nothing. *)
+let penalty s = (10 * s.missed) + (2 * s.spurious_fail) + s.spurious_pass
+
+let perfect s = s.missed = 0 && s.spurious_fail = 0 && s.spurious_pass = 0
+
+let compare_score a b =
+  match compare (penalty a) (penalty b) with
+  | 0 -> (
+    match compare (a.spurious_fail + a.spurious_pass) (b.spurious_fail + b.spurious_pass) with
+    | 0 -> compare b.explained a.explained
+    | c -> c)
+  | c -> c
+
+let evaluate net pats dlog overlay =
+  let expected = Logic_sim.responses net pats in
+  let predicted = Logic_sim.responses_overlay net pats overlay in
+  let explained = ref 0 in
+  let missed = ref 0 in
+  let spurious_fail = ref 0 in
+  let spurious_pass = ref 0 in
+  let npos = Array.length expected in
+  for p = 0 to Pattern.count pats - 1 do
+    let failing = Datalog.is_failing dlog p in
+    let fail_set = Datalog.failing_pos dlog p in
+    for oi = 0 to npos - 1 do
+      let predicted_fail =
+        Bitvec.get expected.(oi) p <> Bitvec.get predicted.(oi) p
+      in
+      let observed_fail = failing && List.mem oi fail_set in
+      match (observed_fail, predicted_fail) with
+      | true, true -> incr explained
+      | true, false -> incr missed
+      | false, true -> if failing then incr spurious_fail else incr spurious_pass
+      | false, false -> ()
+    done
+  done;
+  {
+    explained = !explained;
+    missed = !missed;
+    spurious_fail = !spurious_fail;
+    spurious_pass = !spurious_pass;
+  }
+
+let overlay_of_multiplet faults =
+  let sites = List.sort_uniq compare (List.map (fun f -> f.Fault_list.site) faults) in
+  List.map
+    (fun site ->
+      let polarities =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun f -> if f.Fault_list.site = site then Some f.Fault_list.stuck else None)
+             faults)
+      in
+      match polarities with
+      | [ v ] -> Logic_sim.force site v
+      | _ ->
+        {
+          Logic_sim.target = site;
+          behave = (fun ~computed ~value_of:_ ~driven_of:_ ~base:_ -> lnot computed);
+        })
+    sites
+
+let evaluate_multiplet net pats dlog faults =
+  evaluate net pats dlog (overlay_of_multiplet faults)
+
+let pp ppf s =
+  Format.fprintf ppf "explained %d, missed %d, spurious %d+%d (penalty %d)" s.explained
+    s.missed s.spurious_fail s.spurious_pass (penalty s)

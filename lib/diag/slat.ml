@@ -1,0 +1,29 @@
+type t = {
+  slat : int list;
+  non_slat : int list;
+  explainers : (int * Fault_list.fault list) list;
+}
+
+let classify m =
+  let failing = Explain.failing m in
+  let ncand = Array.length (Explain.candidates m) in
+  let slat = ref [] in
+  let non_slat = ref [] in
+  let explainers = ref [] in
+  Array.iteri
+    (fun fp p ->
+      let exact = ref [] in
+      for c = ncand - 1 downto 0 do
+        if Explain.exact m c fp then exact := (Explain.candidates m).(c) :: !exact
+      done;
+      match !exact with
+      | [] -> non_slat := p :: !non_slat
+      | l ->
+        slat := p :: !slat;
+        explainers := (p, l) :: !explainers)
+    failing;
+  { slat = List.rev !slat; non_slat = List.rev !non_slat; explainers = List.rev !explainers }
+
+let slat_fraction t =
+  let ns = List.length t.slat and nn = List.length t.non_slat in
+  if ns + nn = 0 then 1.0 else float_of_int ns /. float_of_int (ns + nn)

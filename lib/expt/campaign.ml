@@ -1,0 +1,105 @@
+type methods = { run_noassume : bool; run_slat : bool; run_single : bool }
+
+let all_methods = { run_noassume = true; run_slat = true; run_single = true }
+let only_noassume = { run_noassume = true; run_slat = false; run_single = false }
+let classification_only = { run_noassume = false; run_slat = false; run_single = false }
+
+type outcome = {
+  defects : Defect.t list;
+  num_failing : int;
+  slat_fraction : float;
+  noassume : Metrics.quality option;
+  slat : Metrics.quality option;
+  single : Metrics.quality option;
+}
+
+type t = { circuit : string; outcomes : outcome list; redraws : int }
+
+let test_report_cache : (Netlist.t * Tpg.report) list ref = ref []
+
+let test_report net =
+  match List.find_opt (fun (n, _) -> n == net) !test_report_cache with
+  | Some (_, report) -> report
+  | None ->
+    let report = Tpg.generate ~seed:1 ~backtrack_limit:128 net in
+    test_report_cache := (net, report) :: !test_report_cache;
+    report
+
+let test_set net = (test_report net).Tpg.patterns
+
+let max_redraws_per_trial = 50
+
+let run ?(methods = all_methods) ?(config = Noassume.default_config)
+    ?(mix = Injection.default_mix) ?patterns ?layout ~name net ~multiplicity ~trials
+    ~seed =
+  assert (multiplicity >= 1 && trials >= 1);
+  let pats = match patterns with Some p -> p | None -> test_set net in
+  let expected = Logic_sim.responses net pats in
+  let rng = Rng.create seed in
+  let redraws = ref 0 in
+  let outcomes = ref [] in
+  for _trial = 1 to trials do
+    let trial_rng = Rng.split rng in
+    (* Redraw until the injected combination actually fails the test. *)
+    let rec draw attempts =
+      if attempts = 0 then None
+      else begin
+        let defects = Injection.random_defects ?layout trial_rng net mix multiplicity in
+        let observed = Injection.observed_responses net pats defects in
+        let dlog = Datalog.of_responses ~expected ~observed in
+        if Datalog.num_failing dlog = 0 then begin
+          incr redraws;
+          draw (attempts - 1)
+        end
+        else Some (defects, dlog)
+      end
+    in
+    match draw max_redraws_per_trial with
+    | None -> ()
+    | Some (defects, dlog) ->
+      (* Score against the defects that left a trace; fully masked ones
+         are invisible to any diagnosis. *)
+      let defects = Injection.contributing net pats defects in
+      let matrix = Explain.build net pats dlog in
+      let classification = Slat.classify matrix in
+      let noassume =
+        if methods.run_noassume then begin
+          let r = Noassume.diagnose_matrix ~config matrix pats in
+          Some
+            (Metrics.evaluate net ~injected:defects ~callouts:(Noassume.callout_nets r))
+        end
+        else None
+      in
+      let slat =
+        if methods.run_slat then begin
+          let r = Slat_diag.diagnose matrix pats in
+          Some
+            (Metrics.evaluate net ~injected:defects ~callouts:(Slat_diag.callout_nets r))
+        end
+        else None
+      in
+      let single =
+        if methods.run_single then begin
+          let r = Single_diag.diagnose net pats dlog in
+          Some
+            (Metrics.evaluate net ~injected:defects ~callouts:(Single_diag.callout_nets r))
+        end
+        else None
+      in
+      outcomes :=
+        {
+          defects;
+          num_failing = Datalog.num_failing dlog;
+          slat_fraction = Slat.slat_fraction classification;
+          noassume;
+          slat;
+          single;
+        }
+        :: !outcomes
+  done;
+  ignore name;
+  { circuit = name; outcomes = List.rev !outcomes; redraws = !redraws }
+
+let mean_slat_fraction t = Stats.mean (List.map (fun o -> o.slat_fraction) t.outcomes)
+
+let qualities t select = List.filter_map select t.outcomes

@@ -1,0 +1,65 @@
+type t = Slow_rise of Netlist.net | Slow_fall of Netlist.net | Slow of Netlist.net
+
+let site = function Slow_rise n | Slow_fall n | Slow n -> n
+
+let describe net = function
+  | Slow_rise n -> Printf.sprintf "slow-to-rise at %s" (Netlist.name net n)
+  | Slow_fall n -> Printf.sprintf "slow-to-fall at %s" (Netlist.name net n)
+  | Slow n -> Printf.sprintf "slow (both edges) at %s" (Netlist.name net n)
+
+let loc_pairs pats =
+  let n = Pattern.count pats in
+  if n < 2 then invalid_arg "Delay.loc_pairs: need at least two patterns";
+  (Pattern.sub pats 0 (n - 1), Pattern.sub pats 1 (n - 1))
+
+(* Launch-cycle value words of one net, indexed by the capture block's
+   base offset. *)
+let launch_words net launch =
+  let by_base = Hashtbl.create 8 in
+  List.iter
+    (fun block ->
+      let words = Logic_sim.simulate_block net block in
+      Hashtbl.replace by_base block.Pattern.base words)
+    (Pattern.blocks launch);
+  fun ~base n ->
+    match Hashtbl.find_opt by_base base with
+    | Some words -> words.(n)
+    | None -> invalid_arg "Delay.overlay: launch/capture block mismatch"
+
+let overlay net ~launch defect =
+  let lookup = launch_words net launch in
+  let n = site defect in
+  let behave ~computed ~value_of:_ ~driven_of:_ ~base =
+    let prev = lookup ~base n in
+    match defect with
+    | Slow_rise _ -> computed land prev
+    | Slow_fall _ -> computed lor prev
+    | Slow _ -> prev
+  in
+  [ { Logic_sim.target = n; behave } ]
+
+let observed_responses net ~launch ~capture defects =
+  if Pattern.count launch <> Pattern.count capture then
+    invalid_arg "Delay.observed_responses: launch/capture count mismatch";
+  let overrides = List.concat_map (fun d -> overlay net ~launch d) defects in
+  Logic_sim.responses_overlay net capture overrides
+
+let contributing net ~launch ~capture defects =
+  let full = observed_responses net ~launch ~capture defects in
+  List.filter
+    (fun d ->
+      let rest = List.filter (fun d' -> d' != d) defects in
+      let without = observed_responses net ~launch ~capture rest in
+      not (Array.for_all2 Bitvec.equal full without))
+    defects
+
+let random rng net =
+  let sites =
+    Array.of_list
+      (List.filter (fun n -> not (Netlist.is_pi net n)) (List.init (Netlist.num_nets net) Fun.id))
+  in
+  let n = Rng.pick rng sites in
+  match Rng.int rng 3 with
+  | 0 -> Slow_rise n
+  | 1 -> Slow_fall n
+  | _ -> Slow n

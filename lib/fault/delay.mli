@@ -1,0 +1,53 @@
+(** Transition-delay defects and launch/capture (LOC) testing.
+
+    A resistive open can leave a gate functional but slow: the net's new
+    value does not arrive within the cycle, so the {e capture} vector
+    observes the value the net held under the {e launch} vector whenever
+    the net transitions.  At the logic level that is exactly:
+
+    - slow-to-rise: captured value = capture AND launch (a rising net
+      stays 0);
+    - slow-to-fall: captured value = capture OR launch (a falling net
+      stays 1).
+
+    Tests are pattern {e pairs}.  {!loc_pairs} derives the standard
+    launch-on-capture pairing from an ordinary pattern sequence (vector
+    [i] launches, vector [i+1] captures), and the overlays below close
+    over the launch-vector simulation so that the capture-cycle
+    simulation of the whole repository (overlay machinery, diagnosis,
+    metrics) runs unchanged.
+
+    Diagnosis needs no delay-specific mode: a slow net flips
+    pattern-dependently, which is precisely the byzantine-pair behaviour
+    the no-assumption engine already hypothesises. *)
+
+type t =
+  | Slow_rise of Netlist.net
+  | Slow_fall of Netlist.net
+  | Slow of Netlist.net  (** Slow in both directions. *)
+
+val site : t -> Netlist.net
+
+val describe : Netlist.t -> t -> string
+
+val loc_pairs : Pattern.t -> Pattern.t * Pattern.t
+(** [loc_pairs pats] = (launch, capture): vectors [0..n-2] paired with
+    vectors [1..n-1].  Requires at least 2 patterns. *)
+
+val overlay :
+  Netlist.t -> launch:Pattern.t -> t -> Logic_sim.override list
+(** Overrides for the {e capture} simulation.  [launch] must have the
+    same pattern count as the capture set the overlay is used with. *)
+
+val observed_responses :
+  Netlist.t -> launch:Pattern.t -> capture:Pattern.t -> t list ->
+  Logic_sim.responses
+(** Capture-cycle responses of a machine with the given slow nets. *)
+
+val contributing :
+  Netlist.t -> launch:Pattern.t -> capture:Pattern.t -> t list -> t list
+(** The slow defects that actually shape the observed responses (same
+    notion as {!Injection.contributing}). *)
+
+val random : Rng.t -> Netlist.t -> t
+(** A random slow defect on a non-PI net. *)

@@ -1,0 +1,90 @@
+type fault = { site : Netlist.net; stuck : bool }
+
+let compare_fault a b =
+  match compare a.site b.site with 0 -> compare a.stuck b.stuck | c -> c
+
+let pp_fault net ppf f =
+  Format.fprintf ppf "%s sa%d" (Netlist.name net f.site) (Bool.to_int f.stuck)
+
+let all t =
+  List.concat_map
+    (fun site -> [ { site; stuck = false }; { site; stuck = true } ])
+    (List.init (Netlist.num_nets t) Fun.id)
+
+type collapsed = { net : Netlist.t; parent : int array }
+
+let index f = (2 * f.site) + Bool.to_int f.stuck
+let fault_of_index i = { site = i / 2; stuck = i mod 2 = 1 }
+
+let rec find parent i =
+  if parent.(i) = i then i
+  else begin
+    let r = find parent parent.(i) in
+    parent.(i) <- r;
+    r
+  end
+
+let union parent i j =
+  let ri = find parent i and rj = find parent j in
+  if ri <> rj then
+    (* Keep the smaller index as representative for determinism. *)
+    if ri < rj then parent.(rj) <- ri else parent.(ri) <- rj
+
+let collapse net =
+  let parent = Array.init (2 * Netlist.num_nets net) Fun.id in
+  let idx site stuck = index { site; stuck } in
+  Netlist.iter_nets net (fun z ->
+      let fanin = Netlist.fanin net z in
+      (* A fault may be folded into the gate output only if the input net
+         is read nowhere else AND is not itself observed: a fault on a
+         primary-output net is directly visible there, its gate-output
+         image is not. *)
+      let single_fanout a =
+        Array.length (Netlist.fanout net a) = 1 && not (Netlist.is_po net a)
+      in
+      match Netlist.kind net z with
+      | Gate.Buf ->
+        let a = fanin.(0) in
+        if single_fanout a then begin
+          union parent (idx a false) (idx z false);
+          union parent (idx a true) (idx z true)
+        end
+      | Gate.Not ->
+        let a = fanin.(0) in
+        if single_fanout a then begin
+          union parent (idx a false) (idx z true);
+          union parent (idx a true) (idx z false)
+        end
+      | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+        let kind = Netlist.kind net z in
+        let c =
+          match Gate.controlling kind with Some c -> c | None -> assert false
+        in
+        let out_v = if Gate.inversion kind then not c else c in
+        Array.iter
+          (fun a -> if single_fanout a then union parent (idx a c) (idx z out_v))
+          fanin
+      | Gate.Input | Gate.Const _ | Gate.Xor | Gate.Xnor -> ());
+  { net; parent }
+
+let representative_of c f = fault_of_index (find c.parent (index f))
+
+let representatives c =
+  let reps = ref [] in
+  for i = Array.length c.parent - 1 downto 0 do
+    if find c.parent i = i then reps := fault_of_index i :: !reps
+  done;
+  !reps
+
+let class_of c f =
+  let r = find c.parent (index f) in
+  let members = ref [] in
+  for i = Array.length c.parent - 1 downto 0 do
+    if find c.parent i = r then members := fault_of_index i :: !members
+  done;
+  !members
+
+let num_classes c =
+  let count = ref 0 in
+  Array.iteri (fun i _ -> if find c.parent i = i then incr count) c.parent;
+  !count

@@ -1,0 +1,112 @@
+type kind =
+  | Input
+  | Const of bool
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+
+let equal (a : kind) (b : kind) = a = b
+
+let arity_ok kind n =
+  match kind with
+  | Input | Const _ -> n = 0
+  | Buf | Not -> n = 1
+  | And | Nand | Or | Nor | Xor | Xnor -> n >= 2
+
+let name = function
+  | Input -> "INPUT"
+  | Const false -> "GND"
+  | Const true -> "VDD"
+  | Buf -> "BUF"
+  | Not -> "NOT"
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+
+let of_name s =
+  match String.uppercase_ascii s with
+  | "INPUT" -> Some Input
+  | "GND" | "CONST0" -> Some (Const false)
+  | "VDD" | "CONST1" -> Some (Const true)
+  | "BUF" | "BUFF" -> Some Buf
+  | "NOT" | "INV" -> Some Not
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | _ -> None
+
+let bad_eval kind =
+  invalid_arg (Printf.sprintf "Gate.eval: %s with wrong arity" (name kind))
+
+let eval_bool kind args =
+  match (kind, args) with
+  | Const b, [] -> b
+  | Buf, [ a ] -> a
+  | Not, [ a ] -> not a
+  | And, _ :: _ :: _ -> List.for_all Fun.id args
+  | Nand, _ :: _ :: _ -> not (List.for_all Fun.id args)
+  | Or, _ :: _ :: _ -> List.exists Fun.id args
+  | Nor, _ :: _ :: _ -> not (List.exists Fun.id args)
+  | Xor, _ :: _ :: _ -> List.fold_left (fun acc a -> acc <> a) false args
+  | Xnor, _ :: _ :: _ -> not (List.fold_left (fun acc a -> acc <> a) false args)
+  | (Input | Const _ | Buf | Not | And | Nand | Or | Nor | Xor | Xnor), _ ->
+    bad_eval kind
+
+let eval_v3 kind args =
+  let open Logic in
+  match (kind, args) with
+  | Const b, [] -> v3_of_bool b
+  | Buf, [ a ] -> a
+  | Not, [ a ] -> v3_not a
+  | And, a :: rest -> List.fold_left v3_and a rest
+  | Nand, a :: rest -> v3_not (List.fold_left v3_and a rest)
+  | Or, a :: rest -> List.fold_left v3_or a rest
+  | Nor, a :: rest -> v3_not (List.fold_left v3_or a rest)
+  | Xor, a :: rest -> List.fold_left v3_xor a rest
+  | Xnor, a :: rest -> v3_not (List.fold_left v3_xor a rest)
+  | (And | Nand | Or | Nor | Xor | Xnor), [] -> bad_eval kind
+  | (Input | Const _ | Buf | Not), _ -> bad_eval kind
+
+let eval_word kind args =
+  let n = Array.length args in
+  let fold f init =
+    let acc = ref init in
+    for i = 0 to n - 1 do
+      acc := f !acc args.(i)
+    done;
+    !acc
+  in
+  match kind with
+  | Const false -> 0
+  | Const true -> Logic.ones
+  | Buf when n = 1 -> args.(0)
+  | Not when n = 1 -> lnot args.(0)
+  | And when n >= 2 -> fold ( land ) Logic.ones
+  | Nand when n >= 2 -> lnot (fold ( land ) Logic.ones)
+  | Or when n >= 2 -> fold ( lor ) 0
+  | Nor when n >= 2 -> lnot (fold ( lor ) 0)
+  | Xor when n >= 2 -> fold ( lxor ) 0
+  | Xnor when n >= 2 -> lnot (fold ( lxor ) 0)
+  | Input | Buf | Not | And | Nand | Or | Nor | Xor | Xnor -> bad_eval kind
+
+let controlling = function
+  | And | Nand -> Some false
+  | Or | Nor -> Some true
+  | Input | Const _ | Buf | Not | Xor | Xnor -> None
+
+let inversion = function
+  | Not | Nand | Nor | Xnor -> true
+  | Input | Const _ | Buf | And | Or | Xor -> false
+
+let pp ppf kind = Format.pp_print_string ppf (name kind)

@@ -1,0 +1,50 @@
+(** Gate kinds and their evaluation in each logic domain. *)
+
+(** The kind of the driver of a net.  [Input] nets are primary inputs and
+    have no fanin; [Const] nets are tied cells.  All other kinds evaluate
+    their fanin list. *)
+type kind =
+  | Input
+  | Const of bool
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+
+val equal : kind -> kind -> bool
+
+val arity_ok : kind -> int -> bool
+(** [arity_ok kind n] says whether a gate of [kind] may have [n] fanins:
+    0 for [Input]/[Const], 1 for [Buf]/[Not], >= 2 for the n-ary kinds. *)
+
+val name : kind -> string
+(** Upper-case `.bench` mnemonic, e.g. ["NAND"]. *)
+
+val of_name : string -> kind option
+(** Inverse of [name] (case-insensitive); recognises the `.bench`
+    vocabulary including ["VDD"]/["GND"] for constants. *)
+
+val eval_bool : kind -> bool list -> bool
+(** Two-valued evaluation.  Raises [Invalid_argument] on [Input] or an
+    arity violation. *)
+
+val eval_v3 : kind -> Logic.v3 list -> Logic.v3
+(** Three-valued evaluation with standard X-pessimism (controlling values
+    win over X). *)
+
+val eval_word : kind -> int array -> int
+(** Bit-parallel two-valued evaluation over pattern words.  Complemented
+    kinds return unmasked complements; mask on observation. *)
+
+val controlling : kind -> bool option
+(** The controlling input value of the kind, if it has one: 0 for
+    AND/NAND, 1 for OR/NOR, none for the rest. *)
+
+val inversion : kind -> bool
+(** Whether the kind inverts: true for NOT, NAND, NOR, XNOR. *)
+
+val pp : Format.formatter -> kind -> unit

@@ -1,0 +1,79 @@
+(** Benchmark circuit generators.
+
+    The evaluation of the original paper runs on the ISCAS-85/89 suites.
+    Those netlists are not redistributable inside this repository, so the
+    experiments run on (a) the genuine c17 netlist, which is tiny and
+    public, and (b) parameterised synthetic circuits — arithmetic,
+    datapath, decode and random-logic blocks — that reproduce the
+    structural features diagnosis cares about (reconvergent fanout,
+    overlapping output cones, depth) at comparable gate counts.  Every
+    generator is deterministic. *)
+
+val c17 : unit -> Netlist.t
+(** The ISCAS-85 c17 benchmark: 5 PI, 2 PO, 6 NAND gates. *)
+
+val ripple_adder : int -> Netlist.t
+(** [ripple_adder w]: [w]-bit ripple-carry adder, inputs [a*], [b*],
+    [cin]; outputs [s*], [cout]. *)
+
+val multiplier : int -> Netlist.t
+(** [multiplier w]: [w]x[w] array multiplier with ripple reduction,
+    outputs [2w] product bits. *)
+
+val alu : int -> Netlist.t
+(** [alu w]: [w]-bit ALU computing AND / OR / XOR / ADD selected by two
+    control inputs, plus a zero flag. *)
+
+val parity : int -> Netlist.t
+(** [parity w]: balanced XOR tree over [w] inputs, one output. *)
+
+val decoder : int -> Netlist.t
+(** [decoder n]: n-to-2^n line decoder with enable. *)
+
+val comparator : int -> Netlist.t
+(** [comparator w]: [w]-bit magnitude comparator, outputs [eq], [lt],
+    [gt]. *)
+
+val mux_tree : int -> Netlist.t
+(** [mux_tree k]: 2^k-to-1 multiplexer built from 2-to-1 muxes. *)
+
+val majority : int -> Netlist.t
+(** [majority w] ([w] odd): majority voter via full-adder population
+    count and comparison; classic TMR voter structure. *)
+
+val carry_lookahead_adder : int -> Netlist.t
+(** [carry_lookahead_adder w]: [w]-bit adder with 4-bit lookahead groups
+    (generate/propagate logic) — same function as {!ripple_adder}, very
+    different structure (shallow, heavily reconvergent), useful for
+    structure-sensitivity experiments. *)
+
+val barrel_shifter : int -> Netlist.t
+(** [barrel_shifter k]: [2^k]-bit logical left shifter built from [k]
+    mux stages; inputs [d*] and shift amount [s*]. *)
+
+val priority_encoder : int -> Netlist.t
+(** [priority_encoder n]: [2^n]-input priority encoder (highest set input
+    wins) with a valid flag. *)
+
+val gray_decoder : int -> Netlist.t
+(** [gray_decoder w]: Gray-to-binary converter (XOR prefix chain). *)
+
+val crc_step : int -> Netlist.t
+(** [crc_step w]: one combinational step of a CRC with a dense
+    polynomial: next state = shifted state XOR (feedback AND taps) XOR
+    data bit; [w] state bits, inputs [s*] and [d]. *)
+
+val random_logic : gates:int -> pis:int -> pos:int -> seed:int -> Netlist.t
+(** Random reconvergent DAG: each gate draws a kind and 1–4 distinct
+    fanins from earlier nets with locality bias.  Dead logic is avoided by
+    marking as additional outputs the nets that would otherwise be
+    unread. *)
+
+val suite : unit -> (string * Netlist.t) list
+(** The benchmark suite used by every table in `bench/main.exe`, ordered
+    roughly by gate count: c17, par16, dec4, gray8, add8, penc4, crc16,
+    cmp16, cla16, mux5, maj9, bshift4, alu8, add32, mult8, rnd1k,
+    rnd2k. *)
+
+val find_suite : string -> Netlist.t option
+(** Look a suite circuit up by name. *)

@@ -1,0 +1,84 @@
+(** Combinational gate-level netlist.
+
+    A netlist is a DAG of single-output gates.  Every net is driven by
+    exactly one gate (or is a primary input); net and gate therefore share
+    one integer id.  The structure is immutable after construction — build
+    it with {!Builder} or parse it with {!Bench_io}.
+
+    Sequential designs are assumed full-scan: flip-flop outputs are
+    modelled as primary inputs and flip-flop inputs as primary outputs, so
+    diagnosis and test generation see a purely combinational core (the
+    standard reduction used by diagnosis papers). *)
+
+type t
+
+type net = int
+(** Net id, dense in [0, num_nets). *)
+
+(** {1 Construction (used by Builder/Bench_io)} *)
+
+val make :
+  names:string array ->
+  kinds:Gate.kind array ->
+  fanins:net array array ->
+  pos:net array ->
+  t
+(** Validates and freezes a netlist: checks arities, dangling fanins,
+    acyclicity (raises [Invalid_argument] with a diagnostic otherwise),
+    then computes fanouts, levels and a topological order. *)
+
+(** {1 Size and roles} *)
+
+val num_nets : t -> int
+val num_gates : t -> int
+(** Number of non-[Input] nets. *)
+
+val pis : t -> net array
+(** Primary inputs, in declaration order. *)
+
+val pos : t -> net array
+(** Primary outputs (observed nets), in declaration order. *)
+
+val num_pis : t -> int
+val num_pos : t -> int
+
+val is_pi : t -> net -> bool
+val is_po : t -> net -> bool
+
+val po_index : t -> net -> int option
+(** Position of a net in the PO list, if observed. *)
+
+val depth : t -> int
+(** Maximum level over all nets (0 when the circuit is only wires). *)
+
+(** {1 Structure} *)
+
+val kind : t -> net -> Gate.kind
+val fanin : t -> net -> net array
+val fanout : t -> net -> net array
+val level : t -> net -> int
+
+val topo_order : t -> net array
+(** All nets in topological order (fanins before fanouts); primary inputs
+    come first. *)
+
+val name : t -> net -> string
+val find : t -> string -> net option
+(** Look a net up by name. *)
+
+val iter_nets : t -> (net -> unit) -> unit
+
+(** {1 Analysis helpers} *)
+
+val fanin_cone : t -> net -> bool array
+(** [fanin_cone t n].(m) iff [m] is in the transitive fanin of [n]
+    (including [n] itself). *)
+
+val fanout_reach : t -> net -> bool array
+(** Transitive fanout membership, including the net itself. *)
+
+val output_cone : t -> net -> net list
+(** Primary outputs structurally reachable from the net. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: #PI #PO #gates depth. *)

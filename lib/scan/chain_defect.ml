@@ -1,0 +1,63 @@
+type t = { chain : int; position : int; stuck : bool }
+
+let check d defect =
+  if defect.chain < 0 || defect.chain >= Scan_design.num_chains d then
+    invalid_arg "Chain_defect: bad chain";
+  if defect.position < 0 then invalid_arg "Chain_defect: bad position"
+
+(* Apply [f cell chain_pos] to every cell of the defect's chain. *)
+let iter_chain d defect f =
+  for cell = 0 to Scan_design.num_cells d - 1 do
+    let c, k = Scan_design.chain_position d cell in
+    if c = defect.chain then f cell k
+  done
+
+let corrupt_load d defect intended =
+  check d defect;
+  let actual = Array.copy intended in
+  iter_chain d defect (fun cell k -> if k <= defect.position then actual.(cell) <- defect.stuck);
+  actual
+
+let corrupt_unload d defect captured =
+  check d defect;
+  let observed = Array.copy captured in
+  iter_chain d defect (fun cell k -> if k >= defect.position then observed.(cell) <- defect.stuck);
+  observed
+
+let cells_of_chain d chain =
+  let out = ref [] in
+  for cell = Scan_design.num_cells d - 1 downto 0 do
+    let c, k = Scan_design.chain_position d cell in
+    if c = chain then out := (k, cell) :: !out
+  done;
+  List.sort compare !out
+
+let flush d defect ~chain ~fill =
+  let cells = cells_of_chain d chain in
+  let observed_of_cellvalues values =
+    Array.of_list (List.map (fun (_, cell) -> values.(cell)) cells)
+  in
+  let intended = Array.make (Scan_design.num_cells d) fill in
+  match defect with
+  | None -> observed_of_cellvalues intended
+  | Some df ->
+    if df.chain <> chain then observed_of_cellvalues intended
+    else begin
+      (* A flush shifts straight through: every observed bit both entered
+         through the load path and left through the unload path, so it is
+         corrupted if it crossed the break either way — with a constant
+         fill that is simply "stuck wins everywhere it touches". *)
+      let loaded = corrupt_load d df intended in
+      let observed = corrupt_unload d df loaded in
+      observed_of_cellvalues observed
+    end
+
+let observed_scan_test d defect ~load ~inputs =
+  let load =
+    match defect with None -> load | Some df -> corrupt_load d df load
+  in
+  let po, captured = Scan_design.step d ~state:load ~inputs in
+  let unload =
+    match defect with None -> captured | Some df -> corrupt_unload d df captured
+  in
+  (po, unload)

@@ -1,0 +1,45 @@
+(** Defects in the scan chain itself.
+
+    Diagnosis flows must first establish that the scan apparatus works:
+    a stuck shift path corrupts {e loads} and {e unloads} rather than the
+    functional logic, and mis-attributing that to the core wastes the
+    whole analysis.  The model here is the standard one: a stuck-at at
+    chain position [p] corrupts every bit that passes through it.
+
+    With scan-in at the far end (position [length-1]) and scan-out at
+    position [0]:
+
+    - loading: the value bound for cell [k] traverses positions
+      [length-1 .. k], so loads are corrupted for every [k <= p];
+    - unloading: the captured value of cell [k] traverses positions
+      [k .. 0] on its way out, so observations are corrupted for every
+      [k >= p].
+
+    That asymmetry is exactly what {!Chain_diag} exploits to pinpoint
+    [p]. *)
+
+type t = {
+  chain : int;
+  position : int;  (** 0 = nearest scan-out. *)
+  stuck : bool;
+}
+
+val corrupt_load : Scan_design.t -> t -> bool array -> bool array
+(** [corrupt_load d defect intended]: the cell values actually loaded
+    (indexed by cell, as in {!Scan_design.scan_pattern}). *)
+
+val corrupt_unload : Scan_design.t -> t -> bool array -> bool array
+(** [corrupt_unload d defect captured]: the cell values the tester
+    observes. *)
+
+val flush : Scan_design.t -> t option -> chain:int -> fill:bool -> bool array
+(** [flush d defect ~chain ~fill]: the observed unload of [chain] after
+    shifting in the constant [fill] (a {e flush test} — no capture).
+    Positions are chain-local, 0 nearest scan-out. *)
+
+val observed_scan_test :
+  Scan_design.t -> t option -> load:bool array -> inputs:bool array ->
+  bool array * bool array
+(** One scan test against a (possibly chain-defective) design:
+    [(true PO values, observed cell unload)].  The functional core is
+    healthy; only the chain corrupts data. *)

@@ -1,0 +1,57 @@
+type finding =
+  | Chain_ok
+  | Chain_stuck of { stuck : bool }
+  | Chain_inconsistent
+
+let all_equal value a = Array.for_all (fun b -> b = value) a
+
+let classify_flushes ~flush0 ~flush1 =
+  match (all_equal false flush0, all_equal true flush1) with
+  | true, true -> Chain_ok
+  | false, true ->
+    (* Corruption only when flushing 0: stuck-at-1, and the whole flush
+       must read 1 (every bit crosses the break). *)
+    if all_equal true flush0 then Chain_stuck { stuck = true } else Chain_inconsistent
+  | true, false ->
+    if all_equal false flush1 then Chain_stuck { stuck = false } else Chain_inconsistent
+  | false, false -> Chain_inconsistent
+
+let diagnose d ~flush =
+  Array.init (Scan_design.num_chains d) (fun chain ->
+      let flush0 = flush ~chain ~fill:false in
+      let flush1 = flush ~chain ~fill:true in
+      classify_flushes ~flush0 ~flush1)
+
+type scan_test = {
+  load : bool array;
+  inputs : bool array;
+  observed_po : bool array;
+  observed_unload : bool array;
+}
+
+let verify d hypothesis ~load ~inputs ~observed_po ~observed_unload =
+  let po, unload = Chain_defect.observed_scan_test d (Some hypothesis) ~load ~inputs in
+  po = observed_po && unload = observed_unload
+
+let chain_length d chain =
+  let n = ref 0 in
+  for cell = 0 to Scan_design.num_cells d - 1 do
+    let c, _ = Scan_design.chain_position d cell in
+    if c = chain then incr n
+  done;
+  !n
+
+let locate_position d ~chain ~stuck ~tests =
+  let candidates = ref [] in
+  for position = chain_length d chain - 1 downto 0 do
+    let hypothesis = { Chain_defect.chain; position; stuck } in
+    let consistent =
+      List.for_all
+        (fun t ->
+          verify d hypothesis ~load:t.load ~inputs:t.inputs ~observed_po:t.observed_po
+            ~observed_unload:t.observed_unload)
+        tests
+    in
+    if consistent then candidates := position :: !candidates
+  done;
+  !candidates

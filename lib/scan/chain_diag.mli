@@ -1,0 +1,58 @@
+(** Scan-chain integrity checking and chain-fault localisation.
+
+    The first step of any silicon diagnosis flow: run {e flush tests}
+    (shift a constant through every chain, no capture) and decide whether
+    the scan apparatus itself is broken before blaming the logic.
+
+    A flushed bit travels the whole chain — from scan-in past every
+    position to scan-out — so under a stuck-through fault it always
+    crosses the break: flushing the complement of the stuck value reads
+    {e all-stuck}, flushing the stuck value reads clean.  Flushes
+    therefore identify the faulty chain and the polarity but are
+    {b position-blind}; that is the textbook reason chain diagnosis
+    needs {e capture} (scan) tests for localisation.
+
+    {!locate_position} does exactly that: the load-side corruption of a
+    hypothesised break at [p] reaches the functional logic (cells
+    [k <= p] capture from corrupted state), so different [p] produce
+    different captured responses, and a handful of random scan tests
+    narrows the consistent positions — usually to one. *)
+
+type finding =
+  | Chain_ok
+  | Chain_stuck of { stuck : bool }
+      (** The chain is stuck; position must come from capture tests. *)
+  | Chain_inconsistent
+      (** The flush responses fit no single stuck-through fault. *)
+
+val classify_flushes : flush0:bool array -> flush1:bool array -> finding
+(** Decide one chain from its two flush observations. *)
+
+val diagnose :
+  Scan_design.t -> flush:(chain:int -> fill:bool -> bool array) -> finding array
+(** Run both flushes on every chain of the design and classify.  The
+    [flush] callback abstracts the tester (in experiments it is
+    [Chain_defect.flush d defect]). *)
+
+type scan_test = {
+  load : bool array;
+  inputs : bool array;
+  observed_po : bool array;
+  observed_unload : bool array;
+}
+
+val locate_position :
+  Scan_design.t -> chain:int -> stuck:bool -> tests:scan_test list -> int list
+(** Positions along [chain] whose stuck-through hypothesis reproduces
+    every given scan test exactly, ascending.  With a few random tests
+    the list typically collapses to the true break. *)
+
+val verify :
+  Scan_design.t ->
+  Chain_defect.t ->
+  load:bool array ->
+  inputs:bool array ->
+  observed_po:bool array ->
+  observed_unload:bool array ->
+  bool
+(** Does the hypothesis reproduce one observed scan test exactly? *)

@@ -1,0 +1,92 @@
+type t = {
+  core : Netlist.t;
+  num_pis : int;
+  num_pos : int;
+  num_cells : int;
+  chains : int array array; (* chains.(c).(k) = cell index; k = 0 nearest scan-out *)
+  coord : (int * int) array; (* cell -> (chain, position) *)
+}
+
+let make ~core ~pis ~pos ~chains =
+  let total_pis = Netlist.num_pis core in
+  let total_pos = Netlist.num_pos core in
+  if pis < 0 || pis > total_pis then invalid_arg "Scan_design.make: bad PI split";
+  if pos < 0 || pos > total_pos then invalid_arg "Scan_design.make: bad PO split";
+  let cells_in = total_pis - pis in
+  let cells_out = total_pos - pos in
+  if cells_in <> cells_out then
+    invalid_arg
+      (Printf.sprintf "Scan_design.make: %d PPIs but %d PPOs" cells_in cells_out);
+  if chains < 1 || (chains > cells_in && cells_in > 0) then
+    invalid_arg "Scan_design.make: bad chain count";
+  let num_cells = cells_in in
+  let chain_lists = Array.make chains [] in
+  for cell = num_cells - 1 downto 0 do
+    let c = cell mod chains in
+    chain_lists.(c) <- cell :: chain_lists.(c)
+  done;
+  let chain_arrays = Array.map Array.of_list chain_lists in
+  let coord = Array.make (max 1 num_cells) (0, 0) in
+  Array.iteri
+    (fun c cells -> Array.iteri (fun k cell -> coord.(cell) <- (c, k)) cells)
+    chain_arrays;
+  { core; num_pis = pis; num_pos = pos; num_cells; chains = chain_arrays; coord }
+
+let core t = t.core
+let num_pis t = t.num_pis
+let num_pos t = t.num_pos
+let num_cells t = t.num_cells
+let num_chains t = Array.length t.chains
+
+let cell_of_ppi t pi_position =
+  if pi_position >= t.num_pis && pi_position < t.num_pis + t.num_cells then
+    Some (pi_position - t.num_pis)
+  else None
+
+let cell_of_ppo t po_position =
+  if po_position >= t.num_pos && po_position < t.num_pos + t.num_cells then
+    Some (po_position - t.num_pos)
+  else None
+
+let chain_position t cell =
+  if cell < 0 || cell >= t.num_cells then invalid_arg "Scan_design.chain_position";
+  t.coord.(cell)
+
+let describe_po t po_position =
+  let name = Netlist.name t.core (Netlist.pos t.core).(po_position) in
+  match cell_of_ppo t po_position with
+  | None -> Printf.sprintf "PO %s" name
+  | Some cell ->
+    let c, k = chain_position t cell in
+    Printf.sprintf "chain %d cell %d (%s)" c k name
+
+let initial_state t = Array.make t.num_cells false
+
+let scan_pattern t ~load ~inputs =
+  if Array.length load <> t.num_cells then invalid_arg "Scan_design: state width";
+  if Array.length inputs <> t.num_pis then invalid_arg "Scan_design: input width";
+  Array.append inputs load
+
+let step t ~state ~inputs =
+  let vector = scan_pattern t ~load:state ~inputs in
+  let values = Logic_sim.simulate_pattern t.core vector in
+  let pos = Netlist.pos t.core in
+  let true_pos = Array.init t.num_pos (fun oi -> values.(pos.(oi))) in
+  let next = Array.init t.num_cells (fun cell -> values.(pos.(t.num_pos + cell))) in
+  (true_pos, next)
+
+let run t ~state inputs_seq =
+  let state = ref (Array.copy state) in
+  let outputs =
+    List.map
+      (fun inputs ->
+        let po, next = step t ~state:!state ~inputs in
+        state := next;
+        po)
+      inputs_seq
+  in
+  (outputs, !state)
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%d PI, %d PO, %d scan cells in %d chains, core: %a" t.num_pis
+    t.num_pos t.num_cells (num_chains t) Netlist.pp_stats t.core

@@ -1,0 +1,74 @@
+(** Full-scan sequential designs.
+
+    The paper's circuits are scan designs: every flip-flop is stitched
+    into a shift register, so the tester can load an arbitrary state,
+    pulse one functional clock and unload the captured next state.  For
+    test generation and diagnosis this reduces the design to its
+    {e combinational core}: flip-flop outputs become pseudo-primary
+    inputs (PPIs) and flip-flop inputs pseudo-primary outputs (PPOs).
+
+    This module keeps the sequential identity on top of that reduction:
+    which core PIs/POs are scan cells, how cells map to (chain, position)
+    coordinates on the tester, and how the design behaves {e as a
+    sequential machine} (for validating circuit generators and producing
+    functional stimuli). *)
+
+type t
+
+val make : core:Netlist.t -> pis:int -> pos:int -> chains:int -> t
+(** [make ~core ~pis ~pos ~chains] declares that [core]'s first [pis]
+    primary inputs are the true inputs (the rest, in order, are PPIs of
+    cells 0, 1, ...), and its first [pos] outputs are the true outputs
+    (the rest are the matching PPOs).  The PPI and PPO counts must agree
+    — that shared count is the number of scan cells — and cells are
+    dealt round-robin into [chains] chains.  Raises [Invalid_argument]
+    otherwise. *)
+
+val core : t -> Netlist.t
+(** The combinational core — what ATPG, simulation and diagnosis run on.
+    Its PI order is [true inputs @ cell states]; PO order is
+    [true outputs @ next states]. *)
+
+val num_pis : t -> int
+(** True primary inputs. *)
+
+val num_pos : t -> int
+(** True primary outputs. *)
+
+val num_cells : t -> int
+val num_chains : t -> int
+
+val cell_of_ppi : t -> int -> int option
+(** [cell_of_ppi t pi_position]: the scan cell a core PI position belongs
+    to, if it is a PPI. *)
+
+val cell_of_ppo : t -> int -> int option
+(** Same for core PO positions. *)
+
+val chain_position : t -> int -> int * int
+(** [chain_position t cell] = (chain index, position along that chain,
+    0 = closest to scan-out). *)
+
+val describe_po : t -> int -> string
+(** Tester-facing name of a core PO position: ["PO <name>"] for a true
+    output, ["chain <c> cell <k> (<name>)"] for a PPO — how a real
+    datalog names failing observations. *)
+
+(** {1 Sequential semantics} *)
+
+val initial_state : t -> bool array
+(** All-zero state vector (one bit per cell). *)
+
+val step : t -> state:bool array -> inputs:bool array -> bool array * bool array
+(** [step t ~state ~inputs] = (true PO values, next state): one
+    functional clock. *)
+
+val run : t -> state:bool array -> bool array list -> bool array list * bool array
+(** Multi-cycle functional simulation: per-cycle true PO values and the
+    final state. *)
+
+val scan_pattern : t -> load:bool array -> inputs:bool array -> bool array
+(** The core PI vector a tester applies for one scan test: [load] into
+    the cells, [inputs] on the true PIs. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,158 @@
+(* Cores follow the Scan_design convention: true PIs first, then one PPI
+   per cell; true POs first, then the matching next-state PPOs. *)
+
+let half_add b ~tag a c =
+  let s = Builder.xor_ b ~name:(Builder.fresh b (tag ^ "_s")) [ a; c ] in
+  let carry = Builder.and_ b ~name:(Builder.fresh b (tag ^ "_c")) [ a; c ] in
+  (s, carry)
+
+let full_add b ~tag a x cin =
+  let axb = Builder.xor_ b ~name:(Builder.fresh b (tag ^ "_axb")) [ a; x ] in
+  let s = Builder.xor_ b ~name:(Builder.fresh b (tag ^ "_s")) [ axb; cin ] in
+  let c1 = Builder.and_ b ~name:(Builder.fresh b (tag ^ "_c1")) [ a; x ] in
+  let c2 = Builder.and_ b ~name:(Builder.fresh b (tag ^ "_c2")) [ axb; cin ] in
+  (s, Builder.or_ b ~name:(Builder.fresh b (tag ^ "_co")) [ c1; c2 ])
+
+let counter w =
+  assert (w >= 2);
+  let b = Builder.create () in
+  let en = Builder.input b "en" in
+  let q = Array.init w (fun i -> Builder.input b (Printf.sprintf "q%d" i)) in
+  let tc = Builder.and_ b ~name:"tc" (Array.to_list q) in
+  Builder.mark_output b tc;
+  let carry = ref en in
+  for i = 0 to w - 1 do
+    let s, c = half_add b ~tag:(Printf.sprintf "inc%d" i) q.(i) !carry in
+    Builder.mark_output b s;
+    carry := c
+  done;
+  Scan_design.make ~core:(Builder.finalize b) ~pis:1 ~pos:1 ~chains:1
+
+let accumulator w =
+  assert (w >= 2);
+  let b = Builder.create () in
+  let d = Array.init w (fun i -> Builder.input b (Printf.sprintf "d%d" i)) in
+  let q = Array.init w (fun i -> Builder.input b (Printf.sprintf "q%d" i)) in
+  let carry = ref None in
+  let sums = Array.make w (-1) in
+  for i = 0 to w - 1 do
+    match !carry with
+    | None ->
+      let s, c = half_add b ~tag:(Printf.sprintf "ac%d" i) q.(i) d.(i) in
+      sums.(i) <- s;
+      carry := Some c
+    | Some cin ->
+      let s, c = full_add b ~tag:(Printf.sprintf "ac%d" i) q.(i) d.(i) cin in
+      sums.(i) <- s;
+      carry := Some c
+  done;
+  let ovf =
+    match !carry with Some c -> Builder.buf_ b ~name:"ovf" c | None -> assert false
+  in
+  Builder.mark_output b ovf;
+  Array.iter (Builder.mark_output b) sums;
+  Scan_design.make ~core:(Builder.finalize b) ~pis:w ~pos:1 ~chains:2
+
+let lfsr w =
+  assert (w >= 4);
+  let b = Builder.create () in
+  let d = Builder.input b "d" in
+  let q = Array.init w (fun i -> Builder.input b (Printf.sprintf "q%d" i)) in
+  let out = Builder.buf_ b ~name:"out" q.(w - 1) in
+  Builder.mark_output b out;
+  let feedback = Builder.xor_ b ~name:"fb" [ q.(w - 1); d ] in
+  let taps = [ 0; 1; w / 2 ] in
+  for i = 0 to w - 1 do
+    let next =
+      if i = 0 then Builder.buf_ b ~name:(Printf.sprintf "n%d" i) feedback
+      else if List.mem i taps then
+        Builder.xor_ b ~name:(Printf.sprintf "n%d" i) [ q.(i - 1); feedback ]
+      else Builder.buf_ b ~name:(Printf.sprintf "n%d" i) q.(i - 1)
+    in
+    Builder.mark_output b next
+  done;
+  Scan_design.make ~core:(Builder.finalize b) ~pis:1 ~pos:1 ~chains:1
+
+let shift_register w =
+  assert (w >= 2);
+  let b = Builder.create () in
+  let sin = Builder.input b "sin" in
+  let q = Array.init w (fun i -> Builder.input b (Printf.sprintf "q%d" i)) in
+  let sout = Builder.buf_ b ~name:"sout" q.(w - 1) in
+  Builder.mark_output b sout;
+  for i = 0 to w - 1 do
+    let src = if i = 0 then sin else q.(i - 1) in
+    Builder.mark_output b (Builder.buf_ b ~name:(Printf.sprintf "n%d" i) src)
+  done;
+  Scan_design.make ~core:(Builder.finalize b) ~pis:1 ~pos:1 ~chains:1
+
+let pipelined_adder w =
+  assert (w >= 4 && w mod 2 = 0);
+  let half = w / 2 in
+  let b = Builder.create () in
+  let a = Array.init w (fun i -> Builder.input b (Printf.sprintf "a%d" i)) in
+  let x = Array.init w (fun i -> Builder.input b (Printf.sprintf "b%d" i)) in
+  (* State: registered lower sums, registered mid carry, registered upper
+     operands. *)
+  let q_slo = Array.init half (fun i -> Builder.input b (Printf.sprintf "qs%d" i)) in
+  let q_c = Builder.input b "qc" in
+  let q_ahi = Array.init half (fun i -> Builder.input b (Printf.sprintf "qa%d" i)) in
+  let q_bhi = Array.init half (fun i -> Builder.input b (Printf.sprintf "qb%d" i)) in
+  (* True outputs: lower sums straight from the registers, upper sums
+     computed from the registered operands and carry. *)
+  let outputs = ref [] in
+  Array.iteri
+    (fun i qs -> outputs := Builder.buf_ b ~name:(Printf.sprintf "s%d" i) qs :: !outputs)
+    q_slo;
+  let carry = ref q_c in
+  for i = 0 to half - 1 do
+    let s, c = full_add b ~tag:(Printf.sprintf "hi%d" i) q_ahi.(i) q_bhi.(i) !carry in
+    outputs := Builder.buf_ b ~name:(Printf.sprintf "s%d" (half + i)) s :: !outputs;
+    carry := c
+  done;
+  outputs := Builder.buf_ b ~name:"cout" !carry :: !outputs;
+  List.iter (Builder.mark_output b) (List.rev !outputs);
+  (* Next state: stage 1 adds the lower halves and registers the upper
+     operands. *)
+  let carry = ref None in
+  let n_slo = Array.make half (-1) in
+  for i = 0 to half - 1 do
+    match !carry with
+    | None ->
+      let s, c = half_add b ~tag:(Printf.sprintf "lo%d" i) a.(i) x.(i) in
+      n_slo.(i) <- s;
+      carry := Some c
+    | Some cin ->
+      let s, c = full_add b ~tag:(Printf.sprintf "lo%d" i) a.(i) x.(i) cin in
+      n_slo.(i) <- s;
+      carry := Some c
+  done;
+  Array.iter (Builder.mark_output b) n_slo;
+  (match !carry with
+  | Some c -> Builder.mark_output b (Builder.buf_ b ~name:"nc" c)
+  | None -> assert false);
+  Array.iteri
+    (fun i ai -> Builder.mark_output b (Builder.buf_ b ~name:(Printf.sprintf "na%d" i) ai))
+    (Array.sub a half half);
+  Array.iteri
+    (fun i bi -> Builder.mark_output b (Builder.buf_ b ~name:(Printf.sprintf "nb%d" i) bi))
+    (Array.sub x half half);
+  Scan_design.make ~core:(Builder.finalize b) ~pis:(2 * w) ~pos:(w + 1) ~chains:2
+
+let seq_suite_cache = ref None
+
+let seq_suite () =
+  match !seq_suite_cache with
+  | Some l -> l
+  | None ->
+    let l =
+      [
+        ("cnt8", counter 8);
+        ("acc8", accumulator 8);
+        ("lfsr16", lfsr 16);
+        ("sr16", shift_register 16);
+        ("pipe8", pipelined_adder 8);
+      ]
+    in
+    seq_suite_cache := Some l;
+    l

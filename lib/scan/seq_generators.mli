@@ -1,0 +1,31 @@
+(** Sequential benchmark generators (full-scan designs).
+
+    Each returns a {!Scan_design.t} whose combinational core follows the
+    PI/PO convention of {!Scan_design.make}.  Functional behaviour is
+    validated by the test suite through {!Scan_design.run}. *)
+
+val counter : int -> Scan_design.t
+(** [counter w]: [w]-bit up counter with enable; true PI [en], true PO
+    [tc] (terminal count), state increments when enabled. *)
+
+val accumulator : int -> Scan_design.t
+(** [accumulator w]: state += input each cycle (wrapping); true PIs
+    [d*], true PO [ovf] (carry out of the addition). *)
+
+val lfsr : int -> Scan_design.t
+(** [lfsr w]: Galois LFSR built on {!Generators.crc_step}; true PI [d]
+    (data scrambling input), true PO [out] (the MSB). *)
+
+val shift_register : int -> Scan_design.t
+(** [shift_register w]: serial-in serial-out; true PI [sin], true PO
+    [sout]. *)
+
+val pipelined_adder : int -> Scan_design.t
+(** [pipelined_adder w]: two-stage pipeline — stage 1 registers the
+    lower-half sum and carry, stage 2 completes the upper half; true PIs
+    [a*], [b*]; true POs [s*] plus [cout] (one-cycle latency on the
+    upper half). *)
+
+val seq_suite : unit -> (string * Scan_design.t) list
+(** cnt8, acc8, lfsr16, sr16, pipe8 — the sequential circuits of the
+    scan experiment. *)

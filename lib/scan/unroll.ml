@@ -1,0 +1,95 @@
+type t = {
+  design : Scan_design.t;
+  frames : int;
+  comb : Netlist.t;
+  origin : (int * Netlist.net) array; (* unrolled net -> (frame, core net) *)
+  copy : Netlist.net array array; (* copy.(frame).(core net) -> unrolled net *)
+}
+
+let make design ~frames =
+  assert (frames >= 1);
+  let core = Scan_design.core design in
+  let b = Builder.create () in
+  let ncore = Netlist.num_nets core in
+  let copy = Array.init frames (fun _ -> Array.make ncore (-1)) in
+  let origin = ref [] in
+  (* reversed list of (frame, core net) per created unrolled net.
+     [as_core] overrides the recorded origin: frame-stitching cells
+     (reset constants, inter-frame buffers) stand for the flip-flop
+     itself, whose core-side identity is its D-input (PPO) net. *)
+  let created ?as_core frame core_net id =
+    copy.(frame).(core_net) <- id;
+    let recorded = match as_core with Some c -> c | None -> core_net in
+    origin := (frame, recorded) :: !origin
+  in
+  let pis = Netlist.pis core in
+  let pos = Netlist.pos core in
+  for frame = 0 to frames - 1 do
+    Array.iter
+      (fun n ->
+        let name = Printf.sprintf "f%d_%s" frame (Netlist.name core n) in
+        match Netlist.kind core n with
+        | Gate.Input -> (
+          (* True input, or a state input to stitch. *)
+          let pi_position =
+            let rec find i = if pis.(i) = n then i else find (i + 1) in
+            find 0
+          in
+          match Scan_design.cell_of_ppi design pi_position with
+          | None -> created frame n (Builder.input b name)
+          | Some cell ->
+            let d_net = pos.(Scan_design.num_pos design + cell) in
+            if frame = 0 then
+              (* Reset state: all zero. *)
+              created ~as_core:d_net frame n (Builder.gate b name (Gate.Const false) [])
+            else begin
+              (* Driven by the previous frame's next-state net. *)
+              let prev = copy.(frame - 1).(d_net) in
+              created ~as_core:d_net frame n (Builder.gate b name Gate.Buf [ prev ])
+            end)
+        | kind ->
+          let fanin =
+            Array.to_list (Array.map (fun src -> copy.(frame).(src)) (Netlist.fanin core n))
+          in
+          created frame n (Builder.gate b name kind fanin))
+      (Netlist.topo_order core);
+    (* Observe this frame's true outputs. *)
+    for oi = 0 to Scan_design.num_pos design - 1 do
+      Builder.mark_output b copy.(frame).(pos.(oi))
+    done
+  done;
+  let comb = Builder.finalize b in
+  let origin = Array.of_list (List.rev !origin) in
+  { design; frames; comb; origin; copy }
+
+let netlist t = t.comb
+let frames t = t.frames
+
+let core_net t n =
+  let _, core = t.origin.(n) in
+  if core >= 0 then Some core else None
+
+let frame_of t n = fst t.origin.(n)
+
+let sequence_pattern t vectors =
+  if List.length vectors <> t.frames then
+    invalid_arg "Unroll.sequence_pattern: one vector per frame required";
+  let npis = Scan_design.num_pis t.design in
+  List.iter
+    (fun v -> if Array.length v <> npis then invalid_arg "Unroll: input width")
+    vectors;
+  Array.concat vectors
+
+let inject_stuck t core_site v =
+  List.init t.frames (fun frame -> Logic_sim.force t.copy.(frame).(core_site) v)
+
+let collapse_callouts t callouts =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun n ->
+      match core_net t n with
+      | Some core when not (Hashtbl.mem seen core) ->
+        Hashtbl.add seen core ();
+        Some core
+      | Some _ | None -> None)
+    callouts

@@ -1,0 +1,44 @@
+(** Time-frame expansion: diagnosing sequential logic without scan.
+
+    When a design (or a block) has no scan access, the standard reduction
+    unrolls it into an iterative logic array: frame [t] is a fresh copy
+    of the combinational core, its state inputs driven by frame [t-1]'s
+    next-state logic (frame 0 starts from reset, all-zero here).  The
+    tester applies a [frames]-cycle input sequence and observes the true
+    outputs of every cycle.
+
+    A physical defect lives on ONE core net but appears in EVERY frame
+    copy, so diagnosis on the unrolled netlist reports per-frame copies;
+    {!collapse_callouts} folds them back to core nets (and a site whose
+    copies across several frames are called out is particularly
+    credible). *)
+
+type t
+
+val make : Scan_design.t -> frames:int -> t
+(** Unroll the design.  The result's primary inputs are
+    [f<t>_<name>] for each frame [t] and true input; its primary outputs
+    are the per-frame true outputs [f<t>_<name>]. *)
+
+val netlist : t -> Netlist.t
+val frames : t -> int
+
+val core_net : t -> Netlist.net -> Netlist.net option
+(** The core net an unrolled net copies.  Stitching cells (frame-0 reset
+    constants and inter-frame buffers) map to the state net they stand
+    for, so callouts on them still point at a core location. *)
+
+val frame_of : t -> Netlist.net -> int
+(** Which frame an unrolled net belongs to. *)
+
+val sequence_pattern : t -> bool array list -> bool array
+(** Flatten a [frames]-long list of per-cycle input vectors into one PI
+    vector of the unrolled netlist. *)
+
+val inject_stuck : t -> Netlist.net -> bool -> Logic_sim.override list
+(** A stuck defect on a core net: forces every frame's copy — one
+    physical defect, present in all time frames. *)
+
+val collapse_callouts : t -> Netlist.net list -> Netlist.net list
+(** Map diagnosis callouts on the unrolled netlist back to core nets,
+    deduplicated, preserving first-occurrence order. *)

@@ -1,0 +1,56 @@
+type mapping = { arity : int; groups : int array array }
+
+let wrap net ~arity =
+  if arity < 1 then invalid_arg "Compactor.wrap: arity must be >= 1";
+  let npos = Netlist.num_pos net in
+  let n = Netlist.num_nets net in
+  let npins = (npos + arity - 1) / arity in
+  let groups =
+    Array.init npins (fun c ->
+        let base = c * arity in
+        Array.init (min arity (npos - base)) (fun i -> base + i))
+  in
+  (* Rebuild with appended compactor gates; original ids unchanged. *)
+  let extra_names = ref [] in
+  let extra_kinds = ref [] in
+  let extra_fanins = ref [] in
+  let next_id = ref n in
+  let fresh kind fanins name =
+    let id = !next_id in
+    incr next_id;
+    extra_names := name :: !extra_names;
+    extra_kinds := kind :: !extra_kinds;
+    extra_fanins := fanins :: !extra_fanins;
+    id
+  in
+  let pos = Netlist.pos net in
+  let pins =
+    Array.mapi
+      (fun c group ->
+        let members = Array.map (fun oi -> pos.(oi)) group in
+        let name = Printf.sprintf "cmp_pin%d" c in
+        match Array.length members with
+        | 1 -> fresh Gate.Buf [| members.(0) |] name
+        | _ -> fresh Gate.Xor members name)
+      groups
+  in
+  let names =
+    Array.append (Array.init n (Netlist.name net)) (Array.of_list (List.rev !extra_names))
+  in
+  let kinds =
+    Array.append (Array.init n (Netlist.kind net)) (Array.of_list (List.rev !extra_kinds))
+  in
+  let fanins =
+    Array.append
+      (Array.init n (fun i -> Array.copy (Netlist.fanin net i)))
+      (Array.of_list (List.rev !extra_fanins))
+  in
+  (Netlist.make ~names ~kinds ~fanins ~pos:pins, { arity; groups })
+
+let pin_of_po mapping oi =
+  let rec find c =
+    if c >= Array.length mapping.groups then invalid_arg "Compactor.pin_of_po"
+    else if Array.exists (fun o -> o = oi) mapping.groups.(c) then c
+    else find (c + 1)
+  in
+  find 0

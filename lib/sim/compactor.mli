@@ -1,0 +1,31 @@
+(** Space compaction of output responses.
+
+    Industrial testers rarely observe every output directly: outputs are
+    XOR-ed into a handful of compactor pins to cut datalog volume, at the
+    price of ambiguity (a failing compactor pin only says that an odd
+    number of its member outputs failed).  Diagnosis through a compactor
+    is a known resolution killer; the compaction experiment quantifies
+    it.
+
+    The implementation is the clean trick the rest of the repository
+    enables: {!wrap} rebuilds the circuit with the XOR trees appended and
+    the compactor pins as the only primary outputs, so every simulator,
+    ATPG engine and diagnosis algorithm runs on the compacted design
+    unchanged. *)
+
+type mapping = {
+  arity : int;  (** Outputs per compactor pin (last pin may have fewer). *)
+  groups : int array array;
+      (** [groups.(c)] = original PO positions feeding compactor pin
+          [c]. *)
+}
+
+val wrap : Netlist.t -> arity:int -> Netlist.t * mapping
+(** [wrap net ~arity] groups the original POs in declaration order into
+    XOR trees of [arity] inputs.  Original net ids are preserved (the
+    compactor gates are appended), so defect sites, callouts and metrics
+    carry over between the plain and compacted designs.  [arity >= 1];
+    [arity = 1] degenerates to buffered outputs. *)
+
+val pin_of_po : mapping -> int -> int
+(** The compactor pin observing an original PO position. *)

@@ -1,0 +1,102 @@
+type t = {
+  net : Netlist.t;
+  delta : int array; (* faulty XOR good, for touched nets only *)
+  queued : bool array;
+  buckets : Netlist.net list array; (* per level, transient *)
+  mutable touched : Netlist.net list;
+}
+
+let create net =
+  let n = Netlist.num_nets net in
+  {
+    net;
+    delta = Array.make n 0;
+    queued = Array.make n false;
+    buckets = Array.make (Netlist.depth net + 1) [];
+    touched = [];
+  }
+
+let netlist t = t.net
+
+let reset t =
+  List.iter
+    (fun n ->
+      t.delta.(n) <- 0;
+      t.queued.(n) <- false)
+    t.touched;
+  t.touched <- []
+
+let enqueue t n =
+  if not t.queued.(n) then begin
+    t.queued.(n) <- true;
+    let lvl = Netlist.level t.net n in
+    t.buckets.(lvl) <- n :: t.buckets.(lvl)
+  end
+
+(* Propagate the word-level difference [d0] injected at [site] through the
+   fanout cone, level by level.  [t.delta] holds faulty XOR good for every
+   net known to differ. *)
+let propagate t ~good ~site d0 =
+  reset t;
+  t.delta.(site) <- d0;
+  t.touched <- [ site ];
+  Array.iter (fun m -> enqueue t m) (Netlist.fanout t.net site);
+  let depth = Array.length t.buckets in
+  for lvl = 0 to depth - 1 do
+    let nets = t.buckets.(lvl) in
+    t.buckets.(lvl) <- [];
+    List.iter
+      (fun m ->
+        t.queued.(m) <- false;
+        let fanin = Netlist.fanin t.net m in
+        let args = Array.map (fun src -> good.(src) lxor t.delta.(src)) fanin in
+        let faulty = Gate.eval_word (Netlist.kind t.net m) args in
+        let d = faulty lxor good.(m) in
+        if t.delta.(m) = 0 && d <> 0 then t.touched <- m :: t.touched;
+        if d <> t.delta.(m) then begin
+          t.delta.(m) <- d;
+          Array.iter (fun f -> enqueue t f) (Netlist.fanout t.net m)
+        end)
+      nets
+  done
+
+let po_diffs_delta t ~good ~width ~site ~delta =
+  let mask = Logic.mask_of_width width in
+  let d0 = delta land mask in
+  if d0 = 0 then []
+  else begin
+    propagate t ~good ~site d0;
+    let out = ref [] in
+    let pos = Netlist.pos t.net in
+    for oi = Array.length pos - 1 downto 0 do
+      let d = t.delta.(pos.(oi)) land mask in
+      if d <> 0 then out := (oi, d) :: !out
+    done;
+    !out
+  end
+
+let po_diffs t ~good ~width ~site ~stuck =
+  let stuck_word = if stuck then Logic.ones else 0 in
+  po_diffs_delta t ~good ~width ~site ~delta:(stuck_word lxor good.(site))
+
+let detects t ~good ~width ~site ~stuck =
+  List.fold_left (fun acc (_, d) -> acc lor d) 0 (po_diffs t ~good ~width ~site ~stuck)
+
+let signature t pats ~site ~stuck =
+  let npat = Pattern.count pats in
+  let sig_ =
+    Array.init (Netlist.num_pos t.net) (fun _ -> Bitvec.create npat)
+  in
+  List.iter
+    (fun block ->
+      let good = Logic_sim.simulate_block t.net block in
+      let diffs = po_diffs t ~good ~width:block.Pattern.width ~site ~stuck in
+      List.iter
+        (fun (oi, d) ->
+          for k = 0 to block.Pattern.width - 1 do
+            if d lsr k land 1 = 1 then
+              Bitvec.set sig_.(oi) (block.Pattern.base + k) true
+          done)
+        diffs)
+    (Pattern.blocks pats);
+  sig_

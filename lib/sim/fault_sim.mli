@@ -1,0 +1,55 @@
+(** Event-driven bit-parallel single-stuck-at fault simulation.
+
+    The inner loop of diagnosis: given the good-machine words of a
+    pattern block, propagate the effect of one stuck line through its
+    fanout cone only, and report which primary outputs differ on which
+    patterns.  Amortised cost is proportional to the size of the affected
+    region, not the circuit. *)
+
+type t
+(** Reusable simulator (scratch buffers) bound to one netlist. *)
+
+val create : Netlist.t -> t
+
+val netlist : t -> Netlist.t
+
+val po_diffs :
+  t ->
+  good:Logic_sim.net_values ->
+  width:int ->
+  site:Netlist.net ->
+  stuck:bool ->
+  (int * int) list
+(** [po_diffs t ~good ~width ~site ~stuck]: simulate [site] stuck at
+    [stuck] against the block whose good-machine words are [good] (live
+    pattern bits [0 .. width-1]).  Returns [(po_position, diff_word)] for
+    every PO whose masked diff word is non-zero. *)
+
+val po_diffs_delta :
+  t ->
+  good:Logic_sim.net_values ->
+  width:int ->
+  site:Netlist.net ->
+  delta:int ->
+  (int * int) list
+(** Generalisation of {!po_diffs}: inject an arbitrary per-pattern error
+    word [delta] (bit [k] set = the site's value is flipped on pattern
+    [k]) at [site] and propagate.  This is how bridge hypotheses are
+    screened cheaply: the victim's delta under "victim follows net [a]"
+    is just [good(victim) lxor good(a)]. *)
+
+val detects :
+  t ->
+  good:Logic_sim.net_values ->
+  width:int ->
+  site:Netlist.net ->
+  stuck:bool ->
+  int
+(** Word whose bit [k] is set iff the fault is detected (any PO differs)
+    on pattern [k] of the block. *)
+
+val signature :
+  t -> Pattern.t -> site:Netlist.net -> stuck:bool -> Bitvec.t array
+(** Full-set fault signature: per PO position, a bit per pattern set iff
+    that PO differs from the good machine.  Convenience wrapper that
+    simulates every block. *)

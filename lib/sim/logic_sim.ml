@@ -1,0 +1,131 @@
+type net_values = int array
+
+let eval_net t values n =
+  match Netlist.kind t n with
+  | Gate.Input -> values.(n)
+  | kind ->
+    let fanin = Netlist.fanin t n in
+    let args = Array.map (fun src -> values.(src)) fanin in
+    Gate.eval_word kind args
+
+let load_pis t block values =
+  let pis = Netlist.pis t in
+  Array.iteri (fun i pi -> values.(pi) <- block.Pattern.pi_words.(i)) pis
+
+let simulate_block t block =
+  let values = Array.make (Netlist.num_nets t) 0 in
+  load_pis t block values;
+  Array.iter
+    (fun n -> if not (Netlist.is_pi t n) then values.(n) <- eval_net t values n)
+    (Netlist.topo_order t);
+  values
+
+let simulate_pattern t pi_vector =
+  let npis = Netlist.num_pis t in
+  if Array.length pi_vector <> npis then
+    invalid_arg "Logic_sim.simulate_pattern: PI vector width mismatch";
+  let block =
+    {
+      Pattern.base = 0;
+      width = 1;
+      pi_words = Array.map (fun b -> if b then 1 else 0) pi_vector;
+    }
+  in
+  let words = simulate_block t block in
+  Array.map (fun w -> w land 1 = 1) words
+
+type override = {
+  target : Netlist.net;
+  behave :
+    computed:int ->
+    value_of:(Netlist.net -> int) ->
+    driven_of:(Netlist.net -> int) ->
+    base:int ->
+    int;
+}
+
+let force net v =
+  let word = if v then Logic.ones else 0 in
+  { target = net; behave = (fun ~computed:_ ~value_of:_ ~driven_of:_ ~base:_ -> word) }
+
+let max_sweeps = 8
+
+let simulate_block_overlay t block overrides =
+  match overrides with
+  | [] -> simulate_block t block
+  | _ ->
+    let n = Netlist.num_nets t in
+    let values = Array.make n 0 in
+    let by_net = Hashtbl.create (List.length overrides) in
+    List.iter (fun ov -> Hashtbl.replace by_net ov.target ov.behave) overrides;
+    load_pis t block values;
+    (* [driven] holds what each net's driver outputs this sweep, before
+       overrides; for PIs that is the applied stimulus.  Resolved wire
+       values live in [values]. *)
+    let driven = Array.copy values in
+    let value_of m = values.(m) in
+    let driven_of m = driven.(m) in
+    let apply n computed =
+      match Hashtbl.find_opt by_net n with
+      | None -> computed
+      | Some behave -> behave ~computed ~value_of ~driven_of ~base:block.Pattern.base
+    in
+    let changed = ref true in
+    let sweeps = ref 0 in
+    while !changed && !sweeps < max_sweeps do
+      changed := false;
+      incr sweeps;
+      Array.iter
+        (fun n ->
+          if not (Netlist.is_pi t n) then driven.(n) <- eval_net t values n;
+          let v = apply n driven.(n) in
+          if v <> values.(n) then begin
+            values.(n) <- v;
+            changed := true
+          end)
+        (Netlist.topo_order t)
+    done;
+    values
+
+type responses = Bitvec.t array
+
+let collect_block t values block resp =
+  let pos = Netlist.pos t in
+  Array.iteri
+    (fun oi po ->
+      let w = values.(po) in
+      for k = 0 to block.Pattern.width - 1 do
+        Bitvec.set resp.(oi) (block.Pattern.base + k) (w lsr k land 1 = 1)
+      done)
+    pos
+
+let responses_with sim t pats =
+  let resp =
+    Array.init (Netlist.num_pos t) (fun _ -> Bitvec.create (Pattern.count pats))
+  in
+  List.iter
+    (fun block ->
+      let values = sim block in
+      collect_block t values block resp)
+    (Pattern.blocks pats);
+  resp
+
+let responses t pats = responses_with (fun b -> simulate_block t b) t pats
+
+let responses_overlay t pats overrides =
+  responses_with (fun b -> simulate_block_overlay t b overrides) t pats
+
+let diff_outputs expected observed =
+  if Array.length expected <> Array.length observed then
+    invalid_arg "Logic_sim.diff_outputs: PO count mismatch";
+  let npat = if Array.length expected = 0 then 0 else Bitvec.length expected.(0) in
+  let out = ref [] in
+  for p = npat - 1 downto 0 do
+    let bad = ref [] in
+    for oi = Array.length expected - 1 downto 0 do
+      if Bitvec.get expected.(oi) p <> Bitvec.get observed.(oi) p then
+        bad := oi :: !bad
+    done;
+    match !bad with [] -> () | l -> out := (p, l) :: !out
+  done;
+  !out

@@ -1,0 +1,22 @@
+(** Three-valued (0/1/X) simulation.
+
+    Used by the ATPG engine (implications over partially assigned PIs)
+    and by X-path analysis: forcing X on a candidate site and checking
+    which outputs turn X bounds where that site could possibly propagate
+    — a standard over-approximation of error propagation. *)
+
+val simulate : Netlist.t -> Logic.v3 array -> Logic.v3 array
+(** [simulate t pi_values] evaluates the circuit with the given PI
+    assignment (indexed by PI position, X allowed); returns per-net
+    values. *)
+
+val simulate_forced :
+  Netlist.t -> Logic.v3 array -> (Netlist.net * Logic.v3) list -> Logic.v3 array
+(** Like {!simulate} but the listed nets take the forced value instead of
+    their computed one. *)
+
+val x_reach : Netlist.t -> bool array -> Netlist.net -> int list
+(** [x_reach t pattern site]: PO positions whose value becomes X when
+    [site] is forced to X under the fully specified [pattern] (a PI
+    vector).  These are the outputs the site can possibly corrupt on this
+    pattern; the true error-propagation set is a subset. *)

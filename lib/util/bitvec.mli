@@ -1,0 +1,51 @@
+(** Packed bit vectors.
+
+    A fixed-length vector of booleans packed 63 per OCaml [int] word (the
+    native unboxed width).  These back the bit-parallel pattern simulators:
+    one vector per net holds one bit per pattern in the active block. *)
+
+type t
+
+val word_bits : int
+(** Bits per word = 63 (OCaml native int width minus the tag bit). *)
+
+val create : int -> t
+(** [create n] is an all-zero vector of length [n]. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+val fill : t -> bool -> unit
+(** Set every bit. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] ors [src] into [dst].  Lengths must match. *)
+
+val inter_into : dst:t -> t -> unit
+(** [inter_into ~dst src] ands [src] into [dst].  Lengths must match. *)
+
+val diff_into : dst:t -> t -> unit
+(** [diff_into ~dst src] clears in [dst] every bit set in [src]. *)
+
+val is_empty : t -> bool
+
+val iter_set : t -> (int -> unit) -> unit
+(** [iter_set t f] applies [f] to the index of every set bit, ascending. *)
+
+val to_list : t -> int list
+(** Indices of set bits, ascending. *)
+
+val of_list : int -> int list -> t
+(** [of_list n idxs] builds a length-[n] vector with [idxs] set. *)
+
+val pp : Format.formatter -> t -> unit
+(** Bits as a ['0'/'1'] string, index 0 leftmost. *)

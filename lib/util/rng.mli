@@ -1,0 +1,50 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The whole repository runs on this PRNG rather than [Stdlib.Random] so
+    that every experiment, test and campaign is reproducible from a single
+    integer seed.  The implementation is SplitMix64 (Steele et al., OOPSLA
+    2014): a tiny, high-quality, splittable generator whose split operation
+    lets independent campaign arms draw independent streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t].  Streams
+    produced by the parent after the split and by the child do not
+    overlap in practice. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future stream). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_distinct : t -> int -> int -> int list
+(** [sample_distinct t k bound] draws [k] distinct integers from
+    [0, bound), in random order.  Requires [k <= bound]. *)

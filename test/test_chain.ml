@@ -1,0 +1,164 @@
+let design () = Seq_generators.accumulator 8 (* 8 cells, 2 chains *)
+
+let chain_length d chain =
+  let n = ref 0 in
+  for cell = 0 to Scan_design.num_cells d - 1 do
+    let c, _ = Scan_design.chain_position d cell in
+    if c = chain then incr n
+  done;
+  !n
+
+let test_corrupt_load_semantics () =
+  let d = design () in
+  let defect = { Chain_defect.chain = 0; position = 1; stuck = true } in
+  let intended = Array.make 8 false in
+  let actual = Chain_defect.corrupt_load d defect intended in
+  for cell = 0 to 7 do
+    let c, k = Scan_design.chain_position d cell in
+    let expect = if c = 0 && k <= 1 then true else false in
+    Alcotest.(check bool) (Printf.sprintf "cell %d" cell) expect actual.(cell)
+  done
+
+let test_corrupt_unload_semantics () =
+  let d = design () in
+  let defect = { Chain_defect.chain = 1; position = 2; stuck = false } in
+  let captured = Array.make 8 true in
+  let observed = Chain_defect.corrupt_unload d defect captured in
+  for cell = 0 to 7 do
+    let c, k = Scan_design.chain_position d cell in
+    let expect = if c = 1 && k >= 2 then false else true in
+    Alcotest.(check bool) (Printf.sprintf "cell %d" cell) expect observed.(cell)
+  done
+
+let test_flush_healthy () =
+  let d = design () in
+  for chain = 0 to 1 do
+    List.iter
+      (fun fill ->
+        let obs = Chain_defect.flush d None ~chain ~fill in
+        Alcotest.(check int) "length" (chain_length d chain) (Array.length obs);
+        Alcotest.(check bool) "clean" true (Array.for_all (fun b -> b = fill) obs))
+      [ false; true ]
+  done
+
+let test_flush_identifies_chain_and_polarity () =
+  (* Flushes are position-blind but must name the chain and the stuck
+     polarity for every injected chain fault. *)
+  let d = design () in
+  for chain = 0 to Scan_design.num_chains d - 1 do
+    for position = 0 to chain_length d chain - 1 do
+      List.iter
+        (fun stuck ->
+          let defect = { Chain_defect.chain; position; stuck } in
+          let findings =
+            Chain_diag.diagnose d ~flush:(fun ~chain ~fill ->
+                Chain_defect.flush d (Some defect) ~chain ~fill)
+          in
+          Array.iteri
+            (fun c finding ->
+              if c = chain then
+                match finding with
+                | Chain_diag.Chain_stuck { stuck = v } ->
+                  Alcotest.(check bool) "polarity" stuck v
+                | Chain_diag.Chain_ok | Chain_diag.Chain_inconsistent ->
+                  Alcotest.failf "chain %d: fault not found" c
+              else
+                Alcotest.(check bool)
+                  (Printf.sprintf "chain %d ok" c)
+                  true
+                  (finding = Chain_diag.Chain_ok))
+            findings)
+        [ false; true ]
+    done
+  done
+
+let test_classify_inconsistent () =
+  (* Partial corruption fits no stuck-through fault: every flushed bit
+     crosses the break, so corruption is all-or-nothing. *)
+  let f0 = [| false; true; false; true |] in
+  let f1 = [| true; true; true; true |] in
+  Alcotest.(check bool) "partial corruption rejected" true
+    (Chain_diag.classify_flushes ~flush0:f0 ~flush1:f1 = Chain_diag.Chain_inconsistent);
+  let f0 = [| false; false; false; false |] in
+  let f1 = [| true; false; true; true |] in
+  Alcotest.(check bool) "partial corruption rejected 2" true
+    (Chain_diag.classify_flushes ~flush0:f0 ~flush1:f1 = Chain_diag.Chain_inconsistent)
+
+let random_tests d truth rng n =
+  List.init n (fun _ ->
+      let load = Array.init (Scan_design.num_cells d) (fun _ -> Rng.bool rng) in
+      let inputs = Array.init (Scan_design.num_pis d) (fun _ -> Rng.bool rng) in
+      let observed_po, observed_unload =
+        Chain_defect.observed_scan_test d (Some truth) ~load ~inputs
+      in
+      { Chain_diag.load; inputs; observed_po; observed_unload })
+
+let test_locate_position_exact () =
+  (* With a handful of capture tests, the break position is localised to
+     a short candidate list that contains the truth — usually exactly
+     it. *)
+  let d = design () in
+  let rng = Rng.create 101 in
+  for chain = 0 to Scan_design.num_chains d - 1 do
+    for position = 0 to chain_length d chain - 1 do
+      List.iter
+        (fun stuck ->
+          let truth = { Chain_defect.chain; position; stuck } in
+          let tests = random_tests d truth rng 8 in
+          let candidates = Chain_diag.locate_position d ~chain ~stuck ~tests in
+          Alcotest.(check bool)
+            (Printf.sprintf "chain %d pos %d sa%d in candidates" chain position
+               (Bool.to_int stuck))
+            true
+            (List.mem position candidates);
+          Alcotest.(check bool) "narrow" true (List.length candidates <= 2))
+        [ false; true ]
+    done
+  done
+
+let test_verify_discriminates_positions () =
+  let d = design () in
+  let truth = { Chain_defect.chain = 0; position = 2; stuck = true } in
+  let rng = Rng.create 102 in
+  let tests = random_tests d truth rng 10 in
+  List.iter
+    (fun (t : Chain_diag.scan_test) ->
+      Alcotest.(check bool) "truth verifies" true
+        (Chain_diag.verify d truth ~load:t.load ~inputs:t.inputs
+           ~observed_po:t.observed_po ~observed_unload:t.observed_unload))
+    tests;
+  let wrong = { truth with position = 3 } in
+  let rejected =
+    List.exists
+      (fun (t : Chain_diag.scan_test) ->
+        not
+          (Chain_diag.verify d wrong ~load:t.load ~inputs:t.inputs
+             ~observed_po:t.observed_po ~observed_unload:t.observed_unload))
+      tests
+  in
+  Alcotest.(check bool) "wrong position rejected" true rejected
+
+let test_healthy_design_all_ok () =
+  let d = Seq_generators.pipelined_adder 8 in
+  let findings =
+    Chain_diag.diagnose d ~flush:(fun ~chain ~fill ->
+        Chain_defect.flush d None ~chain ~fill)
+  in
+  Array.iter
+    (fun f -> Alcotest.(check bool) "ok" true (f = Chain_diag.Chain_ok))
+    findings
+
+let suite =
+  [
+    ( "chain",
+      [
+        Alcotest.test_case "corrupt load" `Quick test_corrupt_load_semantics;
+        Alcotest.test_case "corrupt unload" `Quick test_corrupt_unload_semantics;
+        Alcotest.test_case "flush healthy" `Quick test_flush_healthy;
+        Alcotest.test_case "flush finds chain+polarity" `Quick test_flush_identifies_chain_and_polarity;
+        Alcotest.test_case "locate position" `Quick test_locate_position_exact;
+        Alcotest.test_case "classify inconsistent" `Quick test_classify_inconsistent;
+        Alcotest.test_case "verify discriminates" `Quick test_verify_discriminates_positions;
+        Alcotest.test_case "healthy design ok" `Quick test_healthy_design_all_ok;
+      ] );
+  ]

@@ -1,0 +1,95 @@
+let mk entries = Datalog.of_entries ~npatterns:10 ~npos:4 entries
+
+let test_basics () =
+  let d = mk [ (3, [ 1; 0 ]); (7, [ 2 ]) ] in
+  Alcotest.(check int) "npatterns" 10 (Datalog.npatterns d);
+  Alcotest.(check int) "npos" 4 (Datalog.npos d);
+  Alcotest.(check int) "num_failing" 2 (Datalog.num_failing d);
+  Alcotest.(check (list int)) "failing ascending" [ 3; 7 ] (Datalog.failing_patterns d);
+  Alcotest.(check bool) "is_failing" true (Datalog.is_failing d 3);
+  Alcotest.(check bool) "is_failing passing" false (Datalog.is_failing d 4);
+  Alcotest.(check (list int)) "pos sorted" [ 0; 1 ] (Datalog.failing_pos d 3);
+  Alcotest.(check (list int)) "pos of passing empty" [] (Datalog.failing_pos d 5)
+
+let test_observations_order () =
+  let d = mk [ (7, [ 2 ]); (3, [ 1; 0 ]) ] in
+  let obs = Datalog.observations d in
+  Alcotest.(check int) "count" 3 (Array.length obs);
+  Alcotest.(check bool) "ordered" true
+    (obs.(0) = { Datalog.pattern = 3; po = 0 }
+    && obs.(1) = { Datalog.pattern = 3; po = 1 }
+    && obs.(2) = { Datalog.pattern = 7; po = 2 })
+
+let test_validation () =
+  Alcotest.check_raises "range" (Invalid_argument "Datalog: pattern index out of range")
+    (fun () -> ignore (mk [ (10, [ 0 ]) ]));
+  Alcotest.check_raises "dup" (Invalid_argument "Datalog: duplicate pattern entry")
+    (fun () -> ignore (mk [ (1, [ 0 ]); (1, [ 1 ]) ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Datalog: empty failing-output list")
+    (fun () -> ignore (mk [ (1, []) ]));
+  Alcotest.check_raises "po range" (Invalid_argument "Datalog: PO position out of range")
+    (fun () -> ignore (mk [ (1, [ 4 ]) ]))
+
+let test_of_responses () =
+  let net = Generators.c17 () in
+  let pats = Pattern.exhaustive ~npis:5 in
+  let expected = Logic_sim.responses net pats in
+  let g16 = Option.get (Netlist.find net "G16") in
+  let observed = Logic_sim.responses_overlay net pats [ Logic_sim.force g16 true ] in
+  let d = Datalog.of_responses ~expected ~observed in
+  Alcotest.(check int) "npatterns" 32 (Datalog.npatterns d);
+  Alcotest.(check bool) "some failures" true (Datalog.num_failing d > 0);
+  (* Cross-check every entry against the raw responses. *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun oi ->
+          Alcotest.(check bool) "mismatch real" true
+            (Bitvec.get expected.(oi) p <> Bitvec.get observed.(oi) p))
+        (Datalog.failing_pos d p))
+    (Datalog.failing_patterns d)
+
+let test_identical_responses_no_failures () =
+  let net = Generators.c17 () in
+  let pats = Pattern.exhaustive ~npis:5 in
+  let r = Logic_sim.responses net pats in
+  let d = Datalog.of_responses ~expected:r ~observed:r in
+  Alcotest.(check int) "no failing" 0 (Datalog.num_failing d)
+
+let test_text_roundtrip () =
+  let d = mk [ (3, [ 1; 0 ]); (7, [ 2 ]) ] in
+  let text = Datalog.to_text d in
+  let d2 = Datalog.of_text ~npatterns:10 ~npos:4 text in
+  Alcotest.(check (list int)) "failing" (Datalog.failing_patterns d)
+    (Datalog.failing_patterns d2);
+  List.iter
+    (fun p ->
+      Alcotest.(check (list int)) "pos" (Datalog.failing_pos d p) (Datalog.failing_pos d2 p))
+    (Datalog.failing_patterns d)
+
+let test_text_format () =
+  let d = mk [ (3, [ 0; 1 ]) ] in
+  Alcotest.(check string) "format" "fail 3 : 0 1\n" (Datalog.to_text d)
+
+let test_of_text_errors () =
+  Alcotest.check_raises "bad number"
+    (Invalid_argument "Datalog.of_text: bad number on line 1") (fun () ->
+      ignore (Datalog.of_text ~npatterns:10 ~npos:4 "fail x : 0\n"));
+  Alcotest.check_raises "no colon"
+    (Invalid_argument "Datalog.of_text: expected ':' on line 1") (fun () ->
+      ignore (Datalog.of_text ~npatterns:10 ~npos:4 "fail 3 0\n"))
+
+let suite =
+  [
+    ( "datalog",
+      [
+        Alcotest.test_case "basics" `Quick test_basics;
+        Alcotest.test_case "observation order" `Quick test_observations_order;
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "of_responses" `Quick test_of_responses;
+        Alcotest.test_case "identical responses" `Quick test_identical_responses_no_failures;
+        Alcotest.test_case "text roundtrip" `Quick test_text_roundtrip;
+        Alcotest.test_case "text format" `Quick test_text_format;
+        Alcotest.test_case "of_text errors" `Quick test_of_text_errors;
+      ] );
+  ]

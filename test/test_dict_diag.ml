@@ -1,0 +1,89 @@
+let g net name = Option.get (Netlist.find net name)
+
+let problem ?(net = Generators.c17 ()) ?(pats = Pattern.exhaustive ~npis:5) defects =
+  let expected = Logic_sim.responses net pats in
+  let observed = Injection.observed_responses net pats defects in
+  let dlog = Datalog.of_responses ~expected ~observed in
+  (net, pats, dlog)
+
+let test_sizes () =
+  let net = Generators.c17 () in
+  let pats = Pattern.exhaustive ~npis:5 in
+  let full = Dict_diag.build Dict_diag.Full_response net pats in
+  let pf = Dict_diag.build Dict_diag.Pass_fail net pats in
+  Alcotest.(check int) "same entries" (Dict_diag.num_entries full)
+    (Dict_diag.num_entries pf);
+  (* c17: 2 POs, so the full dictionary is exactly 2x the pass/fail one. *)
+  Alcotest.(check int) "full = npos x passfail" (2 * Dict_diag.size_bits pf)
+    (Dict_diag.size_bits full);
+  Alcotest.(check int) "bit accounting" (Dict_diag.num_entries pf * 32)
+    (Dict_diag.size_bits pf)
+
+let test_full_matches_single_diag () =
+  (* A full-response dictionary lookup must agree with the effect-cause
+     single-fault baseline: same scores, same best set. *)
+  let net = Generators.c17 () in
+  let g16 = g net "G16" in
+  let net, pats, dlog = problem ~net [ Defect.Stuck (g16, true) ] in
+  let dict = Dict_diag.build Dict_diag.Full_response net pats in
+  let d = Dict_diag.diagnose dict dlog in
+  let s = Single_diag.diagnose net pats dlog in
+  Alcotest.(check (list int)) "same callouts" (Single_diag.callout_nets s)
+    (Dict_diag.callout_nets d);
+  let top_d = List.hd d.Dict_diag.best and top_s = List.hd s.Single_diag.best in
+  Alcotest.(check int) "same score" 0 (Scoring.compare_score top_d.score top_s.score)
+
+let test_single_stuck_hit () =
+  let net = Generators.ripple_adder 8 in
+  let pats = Pattern.random (Rng.create 81) ~npis:(Netlist.num_pis net) ~count:64 in
+  let site = g net "fa4_c1" in
+  let net, pats, dlog = problem ~net ~pats [ Defect.Stuck (site, true) ] in
+  List.iter
+    (fun flavour ->
+      let dict = Dict_diag.build flavour net pats in
+      let r = Dict_diag.diagnose dict dlog in
+      let q =
+        Metrics.evaluate net ~injected:[ Defect.Stuck (site, true) ]
+          ~callouts:(Dict_diag.callout_nets r)
+      in
+      Alcotest.(check bool) "hit" true (q.Metrics.hits = 1))
+    [ Dict_diag.Full_response; Dict_diag.Pass_fail ]
+
+let test_passfail_coarser_than_full () =
+  (* Pass/fail matching can only tie or do worse than full-response on
+     the same case: its best set is a superset-or-equal in size. *)
+  let net = Generators.c17 () in
+  let net, pats, dlog = problem ~net [ Defect.Stuck (g net "G19", false) ] in
+  let full = Dict_diag.diagnose (Dict_diag.build Dict_diag.Full_response net pats) dlog in
+  let pf = Dict_diag.diagnose (Dict_diag.build Dict_diag.Pass_fail net pats) dlog in
+  Alcotest.(check bool) "coarser" true
+    (List.length pf.Dict_diag.best >= List.length full.Dict_diag.best)
+
+let test_pattern_count_check () =
+  let net = Generators.c17 () in
+  let pats = Pattern.exhaustive ~npis:5 in
+  let dict = Dict_diag.build Dict_diag.Pass_fail net pats in
+  let bad = Datalog.of_entries ~npatterns:5 ~npos:2 [ (1, [ 0 ]) ] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Dict_diag.diagnose: datalog pattern count differs from dictionary")
+    (fun () -> ignore (Dict_diag.diagnose dict bad))
+
+let test_ranking_bounded () =
+  let net = Generators.c17 () in
+  let net, pats, dlog = problem ~net [ Defect.Stuck (g net "G10", true) ] in
+  let dict = Dict_diag.build Dict_diag.Full_response net pats in
+  let r = Dict_diag.diagnose ~keep:3 dict dlog in
+  Alcotest.(check bool) "bounded" true (List.length r.Dict_diag.ranking <= 3)
+
+let suite =
+  [
+    ( "dict_diag",
+      [
+        Alcotest.test_case "sizes" `Quick test_sizes;
+        Alcotest.test_case "full matches single_diag" `Quick test_full_matches_single_diag;
+        Alcotest.test_case "single stuck hit" `Quick test_single_stuck_hit;
+        Alcotest.test_case "passfail coarser" `Quick test_passfail_coarser_than_full;
+        Alcotest.test_case "pattern count check" `Quick test_pattern_count_check;
+        Alcotest.test_case "ranking bounded" `Quick test_ranking_bounded;
+      ] );
+  ]

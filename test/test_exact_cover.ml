@@ -1,0 +1,123 @@
+let problem defects =
+  let net = Generators.c17 () in
+  let pats = Pattern.exhaustive ~npis:5 in
+  let expected = Logic_sim.responses net pats in
+  let observed = Injection.observed_responses net pats defects in
+  let dlog = Datalog.of_responses ~expected ~observed in
+  (net, pats, Explain.build net pats dlog)
+
+let g net name = Option.get (Netlist.find net name)
+
+let cover_is_valid m multiplet =
+  (* Every observation is covered by some member. *)
+  let nobs = Array.length (Explain.observations m) in
+  let covered = Bitvec.create nobs in
+  List.iter
+    (fun f ->
+      match Explain.find_candidate m f with
+      | Some c -> Bitvec.union_into ~dst:covered (Explain.covers m c)
+      | None -> Alcotest.fail "solution member not in pool")
+    multiplet;
+  Bitvec.popcount covered = nobs
+
+let test_single_stuck_minimum_one () =
+  let net = Generators.c17 () in
+  let _, _, m = problem [ Defect.Stuck (g net "G16", true) ] in
+  let r = Exact_cover.solve m in
+  Alcotest.(check bool) "complete" true r.Exact_cover.complete;
+  Alcotest.(check (option int)) "minimum 1" (Some 1) r.Exact_cover.minimum;
+  List.iter
+    (fun sol -> Alcotest.(check bool) "valid cover" true (cover_is_valid m sol))
+    r.Exact_cover.multiplets;
+  (* The true fault is one of the minimum covers. *)
+  Alcotest.(check bool) "truth among solutions" true
+    (List.exists
+       (fun sol ->
+         List.exists (fun f -> f.Fault_list.site = g net "G16" && f.Fault_list.stuck) sol)
+       r.Exact_cover.multiplets)
+
+let test_all_solutions_are_minimum_and_valid () =
+  let net = Generators.c17 () in
+  let _, _, m =
+    problem [ Defect.Stuck (g net "G10", true); Defect.Stuck (g net "G19", false) ]
+  in
+  let r = Exact_cover.solve m in
+  Alcotest.(check bool) "complete" true r.Exact_cover.complete;
+  match r.Exact_cover.minimum with
+  | None -> Alcotest.fail "cover must exist"
+  | Some minimum ->
+    Alcotest.(check bool) "nonempty" true (r.Exact_cover.multiplets <> []);
+    List.iter
+      (fun sol ->
+        Alcotest.(check int) "size = minimum" minimum (List.length sol);
+        Alcotest.(check bool) "valid" true (cover_is_valid m sol))
+      r.Exact_cover.multiplets
+
+let test_greedy_never_below_minimum () =
+  (* Sanity: greedy cannot beat the exact minimum; usually it matches. *)
+  let net = Generators.ripple_adder 8 in
+  let pats = Campaign.test_set net in
+  let expected = Logic_sim.responses net pats in
+  let rng = Rng.create 111 in
+  for _ = 1 to 5 do
+    let defects = Injection.random_defects rng net Injection.default_mix 2 in
+    let observed = Injection.observed_responses net pats defects in
+    let dlog = Datalog.of_responses ~expected ~observed in
+    if Datalog.num_failing dlog > 0 then begin
+      let m = Explain.build net pats dlog in
+      let greedy =
+        Noassume.diagnose_matrix
+          ~config:{ Noassume.default_config with validate = false }
+          m pats
+      in
+      let r = Exact_cover.solve m in
+      match (r.Exact_cover.complete, r.Exact_cover.minimum) with
+      | true, Some minimum ->
+        Alcotest.(check bool) "greedy >= minimum" true
+          (List.length greedy.Noassume.multiplet >= minimum)
+      | _ -> ()
+    end
+  done
+
+let test_empty_datalog () =
+  let net = Generators.c17 () in
+  let pats = Pattern.exhaustive ~npis:5 in
+  let resp = Logic_sim.responses net pats in
+  let dlog = Datalog.of_responses ~expected:resp ~observed:resp in
+  let m = Explain.build net pats dlog in
+  let r = Exact_cover.solve m in
+  Alcotest.(check (option int)) "minimum 0" (Some 0) r.Exact_cover.minimum;
+  Alcotest.(check bool) "empty multiplet" true (r.Exact_cover.multiplets = [ [] ])
+
+let test_budget_reported () =
+  let net = Generators.ripple_adder 8 in
+  let pats = Campaign.test_set net in
+  let expected = Logic_sim.responses net pats in
+  let rng = Rng.create 112 in
+  let defects = Injection.random_defects rng net Injection.default_mix 3 in
+  let observed = Injection.observed_responses net pats defects in
+  let dlog = Datalog.of_responses ~expected ~observed in
+  let m = Explain.build net pats dlog in
+  let r = Exact_cover.solve ~node_budget:3 m in
+  Alcotest.(check bool) "budget exhaustion flagged" false r.Exact_cover.complete
+
+let test_max_solutions_respected () =
+  let net = Generators.c17 () in
+  let _, _, m = problem [ Defect.Stuck (g net "G11", true) ] in
+  let r = Exact_cover.solve ~max_solutions:2 m in
+  Alcotest.(check bool) "bounded" true (List.length r.Exact_cover.multiplets <= 2)
+
+let suite =
+  [
+    ( "exact_cover",
+      [
+        Alcotest.test_case "single stuck minimum one" `Quick test_single_stuck_minimum_one;
+        Alcotest.test_case "solutions minimum and valid" `Quick
+          test_all_solutions_are_minimum_and_valid;
+        Alcotest.test_case "greedy never below minimum" `Quick
+          test_greedy_never_below_minimum;
+        Alcotest.test_case "empty datalog" `Quick test_empty_datalog;
+        Alcotest.test_case "budget reported" `Quick test_budget_reported;
+        Alcotest.test_case "max solutions" `Quick test_max_solutions_respected;
+      ] );
+  ]

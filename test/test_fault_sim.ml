@@ -1,0 +1,129 @@
+(* Oracle: the event-driven fault simulator must agree exactly with a
+   full overlay simulation of the same stuck fault. *)
+
+let check_against_overlay name net pats =
+  let sim = Fault_sim.create net in
+  List.iter
+    (fun block ->
+      let good = Logic_sim.simulate_block net block in
+      Netlist.iter_nets net (fun site ->
+          List.iter
+            (fun stuck ->
+              let diffs =
+                Fault_sim.po_diffs sim ~good ~width:block.Pattern.width ~site ~stuck
+              in
+              let overlay_words =
+                Logic_sim.simulate_block_overlay net block [ Logic_sim.force site stuck ]
+              in
+              let mask = Logic.mask_of_width block.Pattern.width in
+              Array.iteri
+                (fun oi po ->
+                  let expect = (overlay_words.(po) lxor good.(po)) land mask in
+                  let got = match List.assoc_opt oi diffs with Some d -> d | None -> 0 in
+                  if expect <> got then
+                    Alcotest.failf "%s: %s sa%d at PO %d: diff %x vs overlay %x" name
+                      (Netlist.name net site) (Bool.to_int stuck) oi got expect)
+                (Netlist.pos net))
+            [ false; true ]))
+    (Pattern.blocks pats)
+
+let test_oracle_c17 () =
+  check_against_overlay "c17" (Generators.c17 ()) (Pattern.exhaustive ~npis:5)
+
+let test_oracle_add8 () =
+  let net = Generators.ripple_adder 8 in
+  let pats = Pattern.random (Rng.create 21) ~npis:(Netlist.num_pis net) ~count:80 in
+  check_against_overlay "add8" net pats
+
+let test_oracle_majority () =
+  let net = Generators.majority 9 in
+  let pats = Pattern.random (Rng.create 22) ~npis:9 ~count:80 in
+  check_against_overlay "maj9" net pats
+
+let qcheck_oracle_random_circuits =
+  QCheck.Test.make ~name:"event-driven fault sim matches overlay (random)" ~count:15
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let net = Generators.random_logic ~gates:60 ~pis:6 ~pos:4 ~seed in
+      let pats = Pattern.random (Rng.create seed) ~npis:6 ~count:40 in
+      check_against_overlay "rnd" net pats;
+      true)
+
+let test_no_effect_when_value_matches () =
+  (* Stuck at the good value on all patterns -> no diffs at all. *)
+  let net = Generators.c17 () in
+  let sim = Fault_sim.create net in
+  let pats = Pattern.of_list ~npis:5 [ Array.make 5 false ] in
+  let block = List.hd (Pattern.blocks pats) in
+  let good = Logic_sim.simulate_block net block in
+  Netlist.iter_nets net (fun site ->
+      let v = good.(site) land 1 = 1 in
+      Alcotest.(check (list (pair int int)))
+        "no diff" []
+        (Fault_sim.po_diffs sim ~good ~width:1 ~site ~stuck:v))
+
+let test_detects_word () =
+  let net = Generators.c17 () in
+  let sim = Fault_sim.create net in
+  let pats = Pattern.exhaustive ~npis:5 in
+  let block = List.hd (Pattern.blocks pats) in
+  let good = Logic_sim.simulate_block net block in
+  let g16 = Option.get (Netlist.find net "G16") in
+  let w = Fault_sim.detects sim ~good ~width:block.Pattern.width ~site:g16 ~stuck:true in
+  (* detects = OR over po_diffs. *)
+  let expect =
+    List.fold_left (fun acc (_, d) -> acc lor d) 0
+      (Fault_sim.po_diffs sim ~good ~width:block.Pattern.width ~site:g16 ~stuck:true)
+  in
+  Alcotest.(check int) "or of diffs" expect w;
+  Alcotest.(check bool) "detected somewhere" true (w <> 0)
+
+let test_signature_consistency () =
+  (* signature must equal the per-block po_diffs, pattern by pattern. *)
+  let net = Generators.ripple_adder 4 in
+  let pats = Pattern.random (Rng.create 23) ~npis:9 ~count:100 in
+  let sim = Fault_sim.create net in
+  let site = (Netlist.pos net).(1) in
+  let signature = Fault_sim.signature sim pats ~site ~stuck:false in
+  List.iter
+    (fun block ->
+      let good = Logic_sim.simulate_block net block in
+      let diffs = Fault_sim.po_diffs sim ~good ~width:block.Pattern.width ~site ~stuck:false in
+      Array.iteri
+        (fun oi _ ->
+          let d = match List.assoc_opt oi diffs with Some d -> d | None -> 0 in
+          for k = 0 to block.Pattern.width - 1 do
+            Alcotest.(check bool) "bit" (d lsr k land 1 = 1)
+              (Bitvec.get signature.(oi) (block.Pattern.base + k))
+          done)
+        (Netlist.pos net))
+    (Pattern.blocks pats)
+
+let test_reusable_across_faults () =
+  (* The scratch state must fully reset between calls: interleave faults
+     and compare against fresh simulators. *)
+  let net = Generators.ripple_adder 4 in
+  let pats = Pattern.random (Rng.create 24) ~npis:9 ~count:60 in
+  let shared = Fault_sim.create net in
+  let block = List.hd (Pattern.blocks pats) in
+  let good = Logic_sim.simulate_block net block in
+  Netlist.iter_nets net (fun site ->
+      let fresh = Fault_sim.create net in
+      let a = Fault_sim.po_diffs shared ~good ~width:block.Pattern.width ~site ~stuck:true in
+      let b = Fault_sim.po_diffs fresh ~good ~width:block.Pattern.width ~site ~stuck:true in
+      Alcotest.(check (list (pair int int))) "same" b a)
+
+let suite =
+  [
+    ( "fault_sim",
+      [
+        Alcotest.test_case "oracle c17 exhaustive" `Quick test_oracle_c17;
+        Alcotest.test_case "oracle add8" `Quick test_oracle_add8;
+        Alcotest.test_case "oracle maj9" `Quick test_oracle_majority;
+        Alcotest.test_case "stuck at good value" `Quick test_no_effect_when_value_matches;
+        Alcotest.test_case "detects word" `Quick test_detects_word;
+        Alcotest.test_case "signature consistency" `Quick test_signature_consistency;
+        Alcotest.test_case "reusable across faults" `Quick test_reusable_across_faults;
+        QCheck_alcotest.to_alcotest qcheck_oracle_random_circuits;
+      ] );
+  ]

@@ -1,0 +1,100 @@
+let net () = Generators.c17 ()
+
+let g net name = Option.get (Netlist.find net name)
+
+let test_direct_hit () =
+  let net = net () in
+  let g16 = g net "G16" in
+  let q =
+    Metrics.evaluate net ~injected:[ Defect.Stuck (g16, true) ] ~callouts:[ g16 ]
+  in
+  Alcotest.(check int) "hits" 1 q.Metrics.hits;
+  Alcotest.(check bool) "success" true q.Metrics.success;
+  Alcotest.(check bool) "diagnosability" true (q.Metrics.diagnosability = 1.0);
+  Alcotest.(check bool) "resolution" true (q.Metrics.resolution = 1.0);
+  Alcotest.(check (option int)) "rank" (Some 1) q.Metrics.first_hit_rank
+
+let test_miss () =
+  let net = net () in
+  let q =
+    Metrics.evaluate net
+      ~injected:[ Defect.Stuck (g net "G10", true) ]
+      ~callouts:[ g net "G19" ]
+  in
+  Alcotest.(check int) "hits" 0 q.Metrics.hits;
+  Alcotest.(check bool) "no success" false q.Metrics.success;
+  Alcotest.(check (option int)) "no rank" None q.Metrics.first_hit_rank
+
+let test_equivalence_forgiveness () =
+  (* In z = AND(a, b) with fanout-free inputs, calling out z for a defect
+     on a counts as a hit (a sa0 == z sa0 are indistinguishable). *)
+  let b = Builder.create () in
+  let a = Builder.input b "a" in
+  let bb = Builder.input b "bb" in
+  let z = Builder.and_ b ~name:"z" [ a; bb ] in
+  Builder.mark_output b z;
+  let net = Builder.finalize b in
+  let q = Metrics.evaluate net ~injected:[ Defect.Stuck (a, false) ] ~callouts:[ z ] in
+  Alcotest.(check int) "equivalent hit" 1 q.Metrics.hits
+
+let test_bridge_either_net_hits () =
+  let net = net () in
+  let d =
+    Defect.Bridge { victim = g net "G10"; aggressor = g net "G11"; kind = Defect.Dominant }
+  in
+  let q1 = Metrics.evaluate net ~injected:[ d ] ~callouts:[ g net "G10" ] in
+  let q2 = Metrics.evaluate net ~injected:[ d ] ~callouts:[ g net "G11" ] in
+  Alcotest.(check int) "victim hits" 1 q1.Metrics.hits;
+  Alcotest.(check int) "aggressor hits" 1 q2.Metrics.hits
+
+let test_multiple_defects_partial () =
+  let net = net () in
+  let injected = [ Defect.Stuck (g net "G10", true); Defect.Stuck (g net "G19", false) ] in
+  let q = Metrics.evaluate net ~injected ~callouts:[ g net "G19"; g net "G23" ] in
+  Alcotest.(check int) "one hit" 1 q.Metrics.hits;
+  Alcotest.(check bool) "diag 0.5" true (abs_float (q.Metrics.diagnosability -. 0.5) < 1e-9);
+  Alcotest.(check bool) "no success" false q.Metrics.success;
+  Alcotest.(check bool) "resolution 1.0" true (q.Metrics.resolution = 1.0);
+  Alcotest.(check (option int)) "rank 1" (Some 1) q.Metrics.first_hit_rank
+
+let test_rank_of_later_callout () =
+  let net = net () in
+  let q =
+    Metrics.evaluate net
+      ~injected:[ Defect.Stuck (g net "G10", true) ]
+      ~callouts:[ g net "G23"; g net "G19"; g net "G10" ]
+  in
+  Alcotest.(check (option int)) "rank 3" (Some 3) q.Metrics.first_hit_rank;
+  Alcotest.(check bool) "resolution 3" true (q.Metrics.resolution = 3.0)
+
+let test_empty_callouts () =
+  let net = net () in
+  let q = Metrics.evaluate net ~injected:[ Defect.Stuck (5, true) ] ~callouts:[] in
+  Alcotest.(check int) "no hits" 0 q.Metrics.hits;
+  Alcotest.(check bool) "resolution 0" true (q.Metrics.resolution = 0.0)
+
+let test_aggregate () =
+  let net = net () in
+  let q1 = Metrics.evaluate net ~injected:[ Defect.Stuck (5, true) ] ~callouts:[ 5 ] in
+  let q2 = Metrics.evaluate net ~injected:[ Defect.Stuck (5, true) ] ~callouts:[ 6; 7 ] in
+  let diag, success, resolution = Metrics.aggregate [ q1; q2 ] in
+  Alcotest.(check bool) "diag 0.5" true (abs_float (diag -. 0.5) < 1e-9);
+  Alcotest.(check bool) "success 0.5" true (abs_float (success -. 0.5) < 1e-9);
+  Alcotest.(check bool) "resolution 1.5" true (abs_float (resolution -. 1.5) < 1e-9);
+  let z = Metrics.aggregate [] in
+  Alcotest.(check bool) "empty zeros" true (z = (0.0, 0.0, 0.0))
+
+let suite =
+  [
+    ( "metrics",
+      [
+        Alcotest.test_case "direct hit" `Quick test_direct_hit;
+        Alcotest.test_case "miss" `Quick test_miss;
+        Alcotest.test_case "equivalence forgiveness" `Quick test_equivalence_forgiveness;
+        Alcotest.test_case "bridge either net" `Quick test_bridge_either_net_hits;
+        Alcotest.test_case "partial hits" `Quick test_multiple_defects_partial;
+        Alcotest.test_case "first hit rank" `Quick test_rank_of_later_callout;
+        Alcotest.test_case "empty callouts" `Quick test_empty_callouts;
+        Alcotest.test_case "aggregate" `Quick test_aggregate;
+      ] );
+  ]

@@ -1,0 +1,73 @@
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let check_f name expected actual =
+  Alcotest.(check bool) name true (feq expected actual)
+
+let test_mean () =
+  check_f "empty" 0.0 (Stats.mean []);
+  check_f "single" 5.0 (Stats.mean [ 5.0 ]);
+  check_f "several" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ])
+
+let test_stddev () =
+  check_f "empty" 0.0 (Stats.stddev []);
+  check_f "single" 0.0 (Stats.stddev [ 7.0 ]);
+  check_f "constant" 0.0 (Stats.stddev [ 4.0; 4.0; 4.0 ]);
+  (* Population stddev of [2;4;4;4;5;5;7;9] is 2. *)
+  check_f "known" 2.0 (Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ])
+
+let test_median () =
+  check_f "empty" 0.0 (Stats.median []);
+  check_f "odd" 3.0 (Stats.median [ 5.0; 3.0; 1.0 ]);
+  check_f "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_f "p50" 50.0 (Stats.percentile 50.0 xs);
+  check_f "p90" 90.0 (Stats.percentile 90.0 xs);
+  check_f "p100" 100.0 (Stats.percentile 100.0 xs);
+  check_f "p0 clamps" 1.0 (Stats.percentile 0.0 xs);
+  check_f "empty" 0.0 (Stats.percentile 50.0 [])
+
+let test_min_max () =
+  check_f "min" (-2.0) (Stats.minimum [ 3.0; -2.0; 5.0 ]);
+  check_f "max" 5.0 (Stats.maximum [ 3.0; -2.0; 5.0 ]);
+  check_f "min empty" 0.0 (Stats.minimum []);
+  check_f "max empty" 0.0 (Stats.maximum [])
+
+let test_histogram () =
+  let h = Stats.histogram ~bins:4 ~lo:0.0 ~hi:4.0 [ 0.5; 1.5; 1.7; 3.9; -1.0; 10.0 ] in
+  Alcotest.(check (array int)) "bins" [| 2; 2; 0; 2 |] h
+
+let test_ratio () =
+  check_f "normal" 0.5 (Stats.ratio 1 2);
+  check_f "zero denominator" 0.0 (Stats.ratio 5 0)
+
+let qcheck_mean_bounds =
+  QCheck.Test.make ~name:"mean within min/max" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let m = Stats.mean xs in
+      m >= Stats.minimum xs -. 1e-9 && m <= Stats.maximum xs +. 1e-9)
+
+let qcheck_histogram_total =
+  QCheck.Test.make ~name:"histogram conserves count" ~count:300
+    QCheck.(small_list (float_range (-10.) 10.))
+    (fun xs ->
+      let h = Stats.histogram ~bins:5 ~lo:(-5.0) ~hi:5.0 xs in
+      Array.fold_left ( + ) 0 h = List.length xs)
+
+let suite =
+  [
+    ( "stats",
+      [
+        Alcotest.test_case "mean" `Quick test_mean;
+        Alcotest.test_case "stddev" `Quick test_stddev;
+        Alcotest.test_case "median" `Quick test_median;
+        Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "min/max" `Quick test_min_max;
+        Alcotest.test_case "histogram" `Quick test_histogram;
+        Alcotest.test_case "ratio" `Quick test_ratio;
+        QCheck_alcotest.to_alcotest qcheck_mean_bounds;
+        QCheck_alcotest.to_alcotest qcheck_histogram_total;
+      ] );
+  ]

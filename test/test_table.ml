@@ -1,0 +1,63 @@
+let test_render_basic () =
+  let t = Table.create [ ("name", Table.Left); ("count", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  (* Every data line has the same width and the cells are aligned. *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "uniform width" true
+    (List.for_all (fun w -> w = List.hd widths) widths);
+  Alcotest.(check bool) "left align" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = '|'
+                           && String.sub l 0 8 = "| alpha ") lines);
+  Alcotest.(check bool) "right align" true
+    (List.exists
+       (fun l ->
+         String.length l >= 8
+         && String.sub l 0 4 = "| b "
+         && String.length l > 10)
+       lines)
+
+let test_title () =
+  let t = Table.create ~title:"My Table" [ ("x", Table.Left) ] in
+  Table.add_row t [ "v" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "title first" true
+    (String.length s > 8 && String.sub s 0 8 = "My Table")
+
+let test_arity_mismatch () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_rule_renders () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Table.add_row t [ "1" ];
+  Table.add_rule t;
+  Table.add_row t [ "2" ];
+  let s = Table.render t in
+  let rules =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.length l > 0 && l.[0] = '+')
+  in
+  (* top, header, mid-rule, bottom *)
+  Alcotest.(check int) "four rules" 4 (List.length rules)
+
+let test_cells () =
+  Alcotest.(check string) "int" "42" (Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "pct" "97.5%" (Table.cell_pct 0.975);
+  Alcotest.(check string) "pct decimals" "33.33%" (Table.cell_pct ~decimals:2 (1.0 /. 3.0))
+
+let suite =
+  [
+    ( "table",
+      [
+        Alcotest.test_case "render basic" `Quick test_render_basic;
+        Alcotest.test_case "title" `Quick test_title;
+        Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+        Alcotest.test_case "rule renders" `Quick test_rule_renders;
+        Alcotest.test_case "cell formatters" `Quick test_cells;
+      ] );
+  ]
