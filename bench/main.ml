@@ -6,7 +6,9 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- table3 fig2  # a subset
      dune exec bench/main.exe -- --trials 30 table4
-     dune exec bench/main.exe -- micro        # Bechamel kernels only *)
+     dune exec bench/main.exe -- micro        # Bechamel kernels only
+     dune exec bench/main.exe -- parallel     # domain scaling, writes
+                                              # BENCH_parallel.json *)
 
 let trials = ref 10
 let seed = ref 2024
@@ -102,6 +104,19 @@ let run_micro () =
     (List.sort compare rows);
   Table.print table
 
+(* --- Parallel scaling ---------------------------------------------- *)
+
+(* Median wall-clock of Explain.build and diagnose on the rnd1k suite
+   circuit at 1/2/4/8 domains; the JSON gives later PRs a trajectory to
+   beat.  Medians are per-kernel so a later sequential regression is
+   visible even when the speedup column still looks right. *)
+let run_parallel () =
+  let report = Parbench.run ~circuit:"rnd1k" ~domain_counts:[ 1; 2; 4; 8 ] ~repeats:5 () in
+  Table.print (Parbench.to_table report);
+  let path = "BENCH_parallel.json" in
+  Parbench.write_json ~path report;
+  Printf.printf "(wrote %s)\n\n%!" path
+
 (* --- Table/figure drivers ------------------------------------------ *)
 
 let experiments : (string * (unit -> Table.t)) list =
@@ -148,6 +163,7 @@ let run_experiment name =
   | None -> (
     match name with
     | "micro" -> run_micro ()
+    | "parallel" -> run_parallel ()
     | _ ->
       prerr_endline ("unknown experiment: " ^ name);
       exit 2)
@@ -167,7 +183,7 @@ let () =
   Arg.parse spec (fun name -> selected := name :: !selected) "bench/main.exe [experiments]";
   let to_run =
     match List.rev !selected with
-    | [] -> List.map fst experiments @ [ "micro" ]
+    | [] -> List.map fst experiments @ [ "micro"; "parallel" ]
     | l -> l
   in
   List.iter run_experiment to_run

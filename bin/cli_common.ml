@@ -38,6 +38,18 @@ let seed_arg =
   let doc = "Deterministic seed." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
 
+let domains_arg =
+  let doc =
+    "OCaml domains for the simulation kernels (default: the runtime's \
+     recommended count, capped at 8; MDD_DOMAINS overrides). Results are \
+     identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+(* The CLI override wins over MDD_DOMAINS; [None] leaves the
+   environment-derived default in place. *)
+let apply_domains = Option.iter Parallel.set_domains
+
 (* Pattern source: an explicit file, or the in-repo ATPG flow. *)
 let patterns_arg =
   let doc = "Read test patterns from a file (one 0/1 line per pattern)." in

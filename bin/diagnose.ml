@@ -22,7 +22,8 @@ let no_validate_arg =
   let doc = "Disable multiplet validation/refinement (ablation)." in
   Arg.(value & flag & info [ "no-validate" ] ~doc)
 
-let run bench suite patterns_file datalog_file method_ no_validate =
+let run bench suite patterns_file datalog_file method_ no_validate domains =
+  Cli_common.apply_domains domains;
   let net = Cli_common.or_die (Cli_common.load_circuit bench suite) in
   let pats = Cli_common.or_die (Cli_common.load_patterns net patterns_file) in
   let dlog =
@@ -38,7 +39,9 @@ let run bench suite patterns_file datalog_file method_ no_validate =
     (Datalog.num_failing dlog) (Netlist.num_pos net);
   match method_ with
   | `Noassume ->
-    let config = { Noassume.default_config with validate = not no_validate } in
+    let config =
+      { Noassume.default_config with validate = not no_validate; domains }
+    in
     let r = Noassume.diagnose ~config net pats dlog in
     print_string (Report.render net r)
   | `Slat ->
@@ -65,6 +68,6 @@ let cmd =
     (Cmd.info "diagnose" ~doc ~man)
     Term.(
       const run $ Cli_common.bench_arg $ Cli_common.suite_arg $ Cli_common.patterns_arg
-      $ datalog_arg $ method_arg $ no_validate_arg)
+      $ datalog_arg $ method_arg $ no_validate_arg $ Cli_common.domains_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -49,7 +49,7 @@ let seed_candidates net dlog =
   done;
   Array.of_list !l
 
-let build net pats dlog =
+let build ?domains net pats dlog =
   let candidates = seed_candidates net dlog in
   let ncand = Array.length candidates in
   let observations = Datalog.observations dlog in
@@ -67,54 +67,57 @@ let build net pats dlog =
   let matched = Array.make_matrix ncand nfp 0 in
   let spurious = Array.make_matrix ncand nfp 0 in
   let mispredict_pass = Array.make ncand 0 in
-  let sim = Fault_sim.create net in
-  List.iter
-    (fun block ->
-      let width = block.Pattern.width in
-      let good = Logic_sim.simulate_block net block in
-      (* Per-pattern flags of this block. *)
-      let fail_mask = ref 0 in
-      for k = 0 to width - 1 do
-        if Datalog.is_failing dlog (block.Pattern.base + k) then
-          fail_mask := !fail_mask lor (1 lsl k)
-      done;
-      Array.iteri
-        (fun c f ->
-          let diffs =
-            Fault_sim.po_diffs sim ~good ~width ~site:f.Fault_list.site
-              ~stuck:f.Fault_list.stuck
-          in
-          let any = ref 0 in
-          List.iter
-            (fun (oi, d) ->
-              any := !any lor d;
-              let rec each w =
-                if w <> 0 then begin
-                  let k =
-                    (* lowest set bit index *)
-                    let rec lg v acc = if v land 1 = 1 then acc else lg (v lsr 1) (acc + 1) in
-                    lg w 0
-                  in
-                  let p = block.Pattern.base + k in
-                  (match Hashtbl.find_opt fail_index p with
-                  | Some fp -> (
-                    match Hashtbl.find_opt obs_index (p, oi) with
-                    | Some obs ->
-                      Bitvec.set covers.(c) obs true;
-                      matched.(c).(fp) <- matched.(c).(fp) + 1
-                    | None -> spurious.(c).(fp) <- spurious.(c).(fp) + 1)
-                  | None -> ());
-                  each (w land (w - 1))
-                end
-              in
-              each d)
-            diffs;
-          (* Passing patterns where the candidate predicts any failure. *)
-          let pass_pred = !any land lnot !fail_mask land Logic.mask_of_width width in
-          let rec popcount w acc = if w = 0 then acc else popcount (w land (w - 1)) (acc + 1) in
-          mispredict_pass.(c) <- mispredict_pass.(c) + popcount pass_pred 0)
-        candidates)
-    (Pattern.blocks pats);
+  (* Good-machine words and per-pattern failing flags of every block,
+     computed once and shared read-only by all workers. *)
+  let blocks = Array.of_list (Pattern.blocks pats) in
+  let goods =
+    Parallel.map_array ?domains (fun b -> Logic_sim.simulate_block net b) blocks
+  in
+  let fail_masks =
+    Array.map
+      (fun (block : Pattern.block) ->
+        let m = ref 0 in
+        for k = 0 to block.width - 1 do
+          if Datalog.is_failing dlog (block.base + k) then m := !m lor (1 lsl k)
+        done;
+        !m)
+      blocks
+  in
+  (* Candidate-partitioned fault simulation: each chunk owns a private
+     [Fault_sim.t] scratch and writes only its own candidates' rows of
+     the accumulators, so domains share nothing mutable and the result
+     is bit-identical for every domain count. *)
+  Parallel.parallel_for ?domains ncand (fun lo hi ->
+      let sim = Fault_sim.create net in
+      for c = lo to hi - 1 do
+        let f = candidates.(c) in
+        Array.iteri
+          (fun bi (block : Pattern.block) ->
+            let width = block.width in
+            let diffs =
+              Fault_sim.po_diffs sim ~good:goods.(bi) ~width ~site:f.Fault_list.site
+                ~stuck:f.Fault_list.stuck
+            in
+            let any = ref 0 in
+            List.iter
+              (fun (oi, d) ->
+                any := !any lor d;
+                Logic.iter_bits d (fun k ->
+                    let p = block.base + k in
+                    match Hashtbl.find_opt fail_index p with
+                    | Some fp -> (
+                      match Hashtbl.find_opt obs_index (p, oi) with
+                      | Some obs ->
+                        Bitvec.set covers.(c) obs true;
+                        matched.(c).(fp) <- matched.(c).(fp) + 1
+                      | None -> spurious.(c).(fp) <- spurious.(c).(fp) + 1)
+                    | None -> ()))
+              diffs;
+            (* Passing patterns where the candidate predicts any failure. *)
+            let pass_pred = !any land lnot fail_masks.(bi) land Logic.mask_of_width width in
+            mispredict_pass.(c) <- mispredict_pass.(c) + Logic.popcount pass_pred)
+          blocks
+      done);
   {
     net;
     dlog;

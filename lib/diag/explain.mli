@@ -18,9 +18,11 @@
 
 type t
 
-val build : Netlist.t -> Pattern.t -> Datalog.t -> t
+val build : ?domains:int -> Netlist.t -> Pattern.t -> Datalog.t -> t
 (** One pass of seeding + simulation.  Cost: O(|candidates| x |blocks|)
-    event-driven fault simulations. *)
+    event-driven fault simulations, partitioned by candidate range over
+    [domains] OCaml domains ({!Parallel}'s default when omitted).  The
+    matrix is bit-identical for every domain count. *)
 
 val netlist : t -> Netlist.t
 val datalog : t -> Datalog.t

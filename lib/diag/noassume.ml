@@ -4,6 +4,7 @@ type config = {
   per_pattern : bool;
   max_multiplet : int;
   layout : (Layout.t * float) option;
+  domains : int option;
 }
 
 let default_config =
@@ -13,6 +14,7 @@ let default_config =
     per_pattern = false;
     max_multiplet = 12;
     layout = None;
+    domains = None;
   }
 
 type model =
@@ -105,12 +107,17 @@ let greedy_cover config m =
   let uncovered = Bitvec.create nobs in
   Bitvec.fill uncovered true;
   let chosen = ref [] in
+  (* O(1) membership keyed by candidate id: the selection loop probes
+     every move each round, and [List.mem] on the chosen list made that
+     quadratic in the multiplet size. *)
+  let in_chosen = Array.make ncand false in
+  let nchosen = ref 0 in
   let continue = ref true in
-  while !continue && List.length !chosen < config.max_multiplet do
+  while !continue && !nchosen < config.max_multiplet do
     let best = ref None in
     Array.iteri
       (fun mi mv ->
-        if List.for_all (fun c -> not (List.mem c !chosen)) (move_members mv) then begin
+        if List.for_all (fun c -> not in_chosen.(c)) (move_members mv) then begin
           let inter = move_cover mv in
           Bitvec.inter_into ~dst:inter uncovered;
           let gain = Bitvec.popcount inter in
@@ -128,6 +135,8 @@ let greedy_cover config m =
       List.iter
         (fun c ->
           chosen := c :: !chosen;
+          in_chosen.(c) <- true;
+          incr nchosen;
           Bitvec.diff_into ~dst:uncovered covers.(c))
         (move_members mv)
   done;
@@ -142,9 +151,15 @@ let refine config m pats chosen covers =
   let dlog = Explain.datalog m in
   let cand = Explain.candidates m in
   let faults_of ids = List.map (fun c -> cand.(c)) ids in
-  let score_of ids = Scoring.evaluate_multiplet net pats dlog (faults_of ids) in
+  let score_of ids =
+    Scoring.evaluate_multiplet ?domains:config.domains net pats dlog (faults_of ids)
+  in
   let steps = ref 0 in
   let current = ref chosen in
+  (* O(1) membership mirror of [current]; the swap pass probes every
+     candidate in the pool against it. *)
+  let in_current = Array.make (Array.length cand) false in
+  List.iter (fun c -> in_current.(c) <- true) chosen;
   let current_score = ref (score_of chosen) in
   let improved = ref true in
   let rounds = ref 0 in
@@ -156,7 +171,7 @@ let refine config m pats chosen covers =
        is the point of the multiplet. *)
     List.iter
       (fun c ->
-        if List.length !current > 1 && List.mem c !current then begin
+        if List.length !current > 1 && in_current.(c) then begin
           let trial = List.filter (fun x -> x <> c) !current in
           let s = score_of trial in
           if
@@ -164,6 +179,7 @@ let refine config m pats chosen covers =
             && Scoring.penalty s <= Scoring.penalty !current_score
           then begin
             current := trial;
+            in_current.(c) <- false;
             current_score := s;
             incr steps;
             improved := true
@@ -174,7 +190,7 @@ let refine config m pats chosen covers =
        exclusive coverage if that strictly improves the penalty. *)
     List.iter
       (fun c ->
-        if List.mem c !current then begin
+        if in_current.(c) then begin
           let others = List.filter (fun x -> x <> c) !current in
           let exclusive = Bitvec.copy covers.(c) in
           List.iter (fun o -> Bitvec.diff_into ~dst:exclusive covers.(o)) others;
@@ -183,7 +199,7 @@ let refine config m pats chosen covers =
             let scored = ref [] in
             Array.iteri
               (fun a _ ->
-                if a <> c && not (List.mem a !current) then begin
+                if a <> c && not in_current.(a) then begin
                   let inter = Bitvec.copy covers.(a) in
                   Bitvec.inter_into ~dst:inter exclusive;
                   let overlap = Bitvec.popcount inter in
@@ -206,6 +222,8 @@ let refine config m pats chosen covers =
                   && Scoring.penalty s < Scoring.penalty !current_score
                 then begin
                   current := trial;
+                  in_current.(c) <- false;
+                  in_current.(a) <- true;
                   current_score := s;
                   incr steps;
                   improved := true
@@ -276,34 +294,49 @@ let infer_aggressors config m cache site members covers =
   if Hashtbl.length needed = 0 then []
   else begin
     let sim = Fault_sim.create net in
+    let npos = Array.length (Netlist.pos net) in
+    (* Observed failing bits per block — one word per output plus the
+       block's observation count — shared by every aggressor screen
+       below; the datalog lists are walked once instead of once per
+       (aggressor, pattern). *)
+    let block_obs =
+      List.map
+        (fun ((block : Pattern.block), _) ->
+          let observed = Array.make npos 0 in
+          let total = ref 0 in
+          for k = 0 to block.Pattern.width - 1 do
+            List.iter
+              (fun oi ->
+                observed.(oi) <- observed.(oi) lor (1 lsl k);
+                incr total)
+              (Datalog.failing_pos dlog (block.Pattern.base + k))
+          done;
+          (observed, !total))
+        cache.blocks
+    in
     (* Penalty of the dominant-bridge hypothesis "site follows a",
-       screened with the event-driven simulator. *)
+       screened with the event-driven simulator; word-parallel counting
+       against the precomputed observation bitsets. *)
     let screen a =
-      let explained = ref 0 and missed = ref 0 and spurious = ref 0 in
-      List.iter
-        (fun ((block : Pattern.block), words) ->
+      let missed = ref 0 and spurious = ref 0 in
+      List.iter2
+        (fun ((block : Pattern.block), words) (observed, total_obs) ->
           let delta = words.(site) lxor words.(a) in
           let diffs =
             Fault_sim.po_diffs_delta sim ~good:words ~width:block.Pattern.width ~site
               ~delta
           in
-          for k = 0 to block.Pattern.width - 1 do
-            let p = block.Pattern.base + k in
-            let observed = Datalog.failing_pos dlog p in
-            let predicted =
-              List.filter_map
-                (fun (oi, d) -> if d lsr k land 1 = 1 then Some oi else None)
-                diffs
-            in
-            List.iter
-              (fun oi ->
-                if List.mem oi observed then incr explained else incr spurious)
-              predicted;
-            List.iter
-              (fun oi -> if not (List.mem oi predicted) then incr missed)
-              observed
-          done)
-        cache.blocks;
+          let explained_here = ref 0 in
+          List.iter
+            (fun (oi, d) ->
+              let obs = observed.(oi) in
+              explained_here := !explained_here + Logic.popcount (d land obs);
+              spurious := !spurious + Logic.popcount (d land lnot obs))
+            diffs;
+          (* An observed failure the hypothesis does not reproduce is a
+             miss, whether or not the output shows up in [diffs]. *)
+          missed := !missed + (total_obs - !explained_here))
+        cache.blocks block_obs;
       (10 * !missed) + !spurious
     in
     let physically_adjacent a =
@@ -390,7 +423,7 @@ let validate_bridges config m pats multiplet callouts score =
                       Defect.Bridge { victim = callout.site; aggressor = a; kind }
                     in
                     let s =
-                      Scoring.evaluate net pats dlog
+                      Scoring.evaluate ?domains:config.domains net pats dlog
                         (rest_overlay @ Defect.overlay bridge)
                     in
                     if
@@ -439,7 +472,7 @@ let diagnose_matrix ?(config = default_config) m pats =
     if config.validate && chosen <> [] then refine config m pats chosen covers
     else
       let faults = List.map (fun c -> (Explain.candidates m).(c)) chosen in
-      (chosen, Scoring.evaluate_multiplet net pats dlog faults, 0)
+      (chosen, Scoring.evaluate_multiplet ?domains:config.domains net pats dlog faults, 0)
   in
   let cand = Explain.candidates m in
   let multiplet =
@@ -456,7 +489,7 @@ let diagnose_matrix ?(config = default_config) m pats =
   }
 
 let diagnose ?(config = default_config) net pats dlog =
-  let m = Explain.build net pats dlog in
+  let m = Explain.build ?domains:config.domains net pats dlog in
   diagnose_matrix ~config m pats
 
 let callout_nets r =

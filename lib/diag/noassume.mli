@@ -27,11 +27,15 @@ type config = {
       (** Physical placement knowledge: when present, bridge aggressor
           candidates are restricted to the victim's neighbourhood within
           the given radius — what an extracted-layout flow does. *)
+  domains : int option;
+      (** OCaml domains for the simulation kernels (matrix build and
+          multiplet scoring); [None] uses {!Parallel.default_domains}.
+          The diagnosis result is bit-identical for every value. *)
 }
 
 val default_config : config
 (** [tie_break = true; validate = true; per_pattern = false;
-    max_multiplet = 12; layout = None]. *)
+    max_multiplet = 12; layout = None; domains = None]. *)
 
 (** Fault models consistent with a called-out site. *)
 type model =

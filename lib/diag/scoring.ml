@@ -23,28 +23,51 @@ let compare_score a b =
     | c -> c)
   | c -> c
 
-let evaluate net pats dlog overlay =
-  let expected = Logic_sim.responses net pats in
-  let predicted = Logic_sim.responses_overlay net pats overlay in
-  let explained = ref 0 in
-  let missed = ref 0 in
-  let spurious_fail = ref 0 in
-  let spurious_pass = ref 0 in
-  let npos = Array.length expected in
-  for p = 0 to Pattern.count pats - 1 do
-    let failing = Datalog.is_failing dlog p in
-    let fail_set = Datalog.failing_pos dlog p in
-    for oi = 0 to npos - 1 do
-      let predicted_fail =
-        Bitvec.get expected.(oi) p <> Bitvec.get predicted.(oi) p
-      in
-      let observed_fail = failing && List.mem oi fail_set in
-      match (observed_fail, predicted_fail) with
-      | true, true -> incr explained
-      | true, false -> incr missed
-      | false, true -> if failing then incr spurious_fail else incr spurious_pass
-      | false, false -> ()
-    done
+let zero = { explained = 0; missed = 0; spurious_fail = 0; spurious_pass = 0 }
+
+let add a b =
+  {
+    explained = a.explained + b.explained;
+    missed = a.missed + b.missed;
+    spurious_fail = a.spurious_fail + b.spurious_fail;
+    spurious_pass = a.spurious_pass + b.spurious_pass;
+  }
+
+(* One pattern block, scored with word-parallel bit counting: per output,
+   the predicted-failure word is the good/overlay simulation difference,
+   the observed-failure word comes from the datalog, and each score
+   component is a popcount of a mask combination — no per-(pattern,
+   output) scan.  Blocks are independent, so the whole evaluation is a
+   map-reduce over blocks (score addition is associative and [zero] its
+   identity, making the reduction order — and the domain count —
+   irrelevant to the result). *)
+let score_block net dlog overlay (block : Pattern.block) =
+  let good = Logic_sim.simulate_block net block in
+  let faulty = Logic_sim.simulate_block_overlay net block overlay in
+  let mask = Logic.mask_of_width block.width in
+  let pos = Netlist.pos net in
+  let npos = Array.length pos in
+  (* Observed failing bits, as one word per output plus the
+     pattern-failing mask. *)
+  let observed = Array.make npos 0 in
+  let fail_mask = ref 0 in
+  for k = 0 to block.width - 1 do
+    match Datalog.failing_pos dlog (block.base + k) with
+    | [] -> ()
+    | ois ->
+      fail_mask := !fail_mask lor (1 lsl k);
+      List.iter (fun oi -> observed.(oi) <- observed.(oi) lor (1 lsl k)) ois
+  done;
+  let explained = ref 0 and missed = ref 0 in
+  let spurious_fail = ref 0 and spurious_pass = ref 0 in
+  for oi = 0 to npos - 1 do
+    let predicted = (good.(pos.(oi)) lxor faulty.(pos.(oi))) land mask in
+    let obs = observed.(oi) in
+    explained := !explained + Logic.popcount (predicted land obs);
+    missed := !missed + Logic.popcount (obs land lnot predicted);
+    let spurious = predicted land lnot obs in
+    spurious_fail := !spurious_fail + Logic.popcount (spurious land !fail_mask);
+    spurious_pass := !spurious_pass + Logic.popcount (spurious land lnot !fail_mask land mask)
   done;
   {
     explained = !explained;
@@ -52,6 +75,12 @@ let evaluate net pats dlog overlay =
     spurious_fail = !spurious_fail;
     spurious_pass = !spurious_pass;
   }
+
+let evaluate ?domains net pats dlog overlay =
+  Parallel.map_reduce ?domains
+    ~map:(score_block net dlog overlay)
+    ~reduce:add ~init:zero
+    (Array.of_list (Pattern.blocks pats))
 
 let overlay_of_multiplet faults =
   let sites = List.sort_uniq compare (List.map (fun f -> f.Fault_list.site) faults) in
@@ -72,8 +101,8 @@ let overlay_of_multiplet faults =
         })
     sites
 
-let evaluate_multiplet net pats dlog faults =
-  evaluate net pats dlog (overlay_of_multiplet faults)
+let evaluate_multiplet ?domains net pats dlog faults =
+  evaluate ?domains net pats dlog (overlay_of_multiplet faults)
 
 let pp ppf s =
   Format.fprintf ppf "explained %d, missed %d, spurious %d+%d (penalty %d)" s.explained

@@ -33,8 +33,11 @@ val compare_score : score -> score -> int
     explained. *)
 
 val evaluate :
-  Netlist.t -> Pattern.t -> Datalog.t -> Logic_sim.override list -> score
-(** Simulate the overlay over the whole set and score it. *)
+  ?domains:int -> Netlist.t -> Pattern.t -> Datalog.t -> Logic_sim.override list -> score
+(** Simulate the overlay over the whole set and score it, one pattern
+    block at a time across [domains] OCaml domains ({!Parallel}'s
+    default when omitted); the score is identical for every domain
+    count. *)
 
 val overlay_of_multiplet : Fault_list.fault list -> Logic_sim.override list
 (** A site appearing with one polarity becomes a stuck override; a site
@@ -44,7 +47,7 @@ val overlay_of_multiplet : Fault_list.fault list -> Logic_sim.override list
     other and the multiplet could never explain both directions. *)
 
 val evaluate_multiplet :
-  Netlist.t -> Pattern.t -> Datalog.t -> Fault_list.fault list -> score
+  ?domains:int -> Netlist.t -> Pattern.t -> Datalog.t -> Fault_list.fault list -> score
 (** [evaluate] of {!overlay_of_multiplet}. *)
 
 val pp : Format.formatter -> score -> unit

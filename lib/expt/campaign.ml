@@ -30,37 +30,40 @@ let test_set net = (test_report net).Tpg.patterns
 let max_redraws_per_trial = 50
 
 let run ?(methods = all_methods) ?(config = Noassume.default_config)
-    ?(mix = Injection.default_mix) ?patterns ?layout ~name net ~multiplicity ~trials
-    ~seed =
+    ?(mix = Injection.default_mix) ?patterns ?layout ?domains ~name net ~multiplicity
+    ~trials ~seed =
   assert (multiplicity >= 1 && trials >= 1);
   let pats = match patterns with Some p -> p | None -> test_set net in
   let expected = Logic_sim.responses net pats in
   let rng = Rng.create seed in
-  let redraws = ref 0 in
-  let outcomes = ref [] in
-  for _trial = 1 to trials do
-    let trial_rng = Rng.split rng in
+  (* One generator per trial, split in trial order before any trial runs:
+     trial [t] draws the same defects whatever the domain count. *)
+  let trial_rngs = Array.init trials (fun _ -> Rng.split rng) in
+  (* With several trials in flight, each trial's own simulation kernels
+     run on one domain — trial-level parallelism is the outer loop and
+     scales best; a single trial still fans out its kernels. *)
+  let config =
+    if trials > 1 then { config with Noassume.domains = Some 1 } else config
+  in
+  let run_trial trial_rng =
     (* Redraw until the injected combination actually fails the test. *)
-    let rec draw attempts =
-      if attempts = 0 then None
+    let rec draw attempts redrawn =
+      if attempts = 0 then (None, redrawn)
       else begin
         let defects = Injection.random_defects ?layout trial_rng net mix multiplicity in
         let observed = Injection.observed_responses net pats defects in
         let dlog = Datalog.of_responses ~expected ~observed in
-        if Datalog.num_failing dlog = 0 then begin
-          incr redraws;
-          draw (attempts - 1)
-        end
-        else Some (defects, dlog)
+        if Datalog.num_failing dlog = 0 then draw (attempts - 1) (redrawn + 1)
+        else (Some (defects, dlog), redrawn)
       end
     in
-    match draw max_redraws_per_trial with
-    | None -> ()
-    | Some (defects, dlog) ->
+    match draw max_redraws_per_trial 0 with
+    | None, redrawn -> (None, redrawn)
+    | Some (defects, dlog), redrawn ->
       (* Score against the defects that left a trace; fully masked ones
          are invisible to any diagnosis. *)
       let defects = Injection.contributing net pats defects in
-      let matrix = Explain.build net pats dlog in
+      let matrix = Explain.build ?domains:config.Noassume.domains net pats dlog in
       let classification = Slat.classify matrix in
       let noassume =
         if methods.run_noassume then begin
@@ -86,19 +89,21 @@ let run ?(methods = all_methods) ?(config = Noassume.default_config)
         end
         else None
       in
-      outcomes :=
-        {
-          defects;
-          num_failing = Datalog.num_failing dlog;
-          slat_fraction = Slat.slat_fraction classification;
-          noassume;
-          slat;
-          single;
-        }
-        :: !outcomes
-  done;
-  ignore name;
-  { circuit = name; outcomes = List.rev !outcomes; redraws = !redraws }
+      ( Some
+          {
+            defects;
+            num_failing = Datalog.num_failing dlog;
+            slat_fraction = Slat.slat_fraction classification;
+            noassume;
+            slat;
+            single;
+          },
+        redrawn )
+  in
+  let results = Parallel.map_array ?domains run_trial trial_rngs in
+  let outcomes = List.filter_map fst (Array.to_list results) in
+  let redraws = Array.fold_left (fun acc (_, r) -> acc + r) 0 results in
+  { circuit = name; outcomes; redraws }
 
 let mean_slat_fraction t = Stats.mean (List.map (fun o -> o.slat_fraction) t.outcomes)
 

@@ -49,6 +49,7 @@ val run :
   ?mix:Injection.kind_mix ->
   ?patterns:Pattern.t ->
   ?layout:Layout.t * float ->
+  ?domains:int ->
   name:string ->
   Netlist.t ->
   multiplicity:int ->
@@ -58,7 +59,14 @@ val run :
 (** Run [trials] trials.  [patterns] overrides {!test_set} (used by the
     test-set-size sweep); [layout] constrains injected bridges/opens to
     physically adjacent nets (the layout ablation — pass the same
-    placement in [config.layout] to let diagnosis use it too). *)
+    placement in [config.layout] to let diagnosis use it too).
+
+    Trials are independent and run across [domains] OCaml domains
+    ({!Parallel}'s default when omitted).  Per-trial defect draws come
+    from generators split in trial order before any trial starts, so the
+    outcome list is identical for every domain count; when several
+    trials are in flight each trial's own simulation kernels run on one
+    domain. *)
 
 val mean_slat_fraction : t -> float
 

@@ -1,0 +1,132 @@
+(* Parallel-scaling bench: wall-clock medians of the two dominant
+   diagnosis kernels at several domain counts, against one fixed problem
+   instance.  Wall clock (not [Sys.time], which sums CPU seconds across
+   domains and would hide any speedup) via [Unix.gettimeofday]. *)
+
+type sample = {
+  kernel : string;
+  domains : int;
+  runs : int;
+  median_ns : float;
+  speedup_vs_1 : float;
+}
+
+type report = { circuit : string; repeats : int; samples : sample list }
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let median a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+(* One warm-up run (pool spawn, allocation ramp-up), then [repeats]
+   timed runs. *)
+let time_median ~repeats f =
+  ignore (Sys.opaque_identity (f ()));
+  let times =
+    Array.init repeats (fun _ ->
+        let t0 = now_ns () in
+        ignore (Sys.opaque_identity (f ()));
+        now_ns () -. t0)
+  in
+  median times
+
+let prepare ~circuit ~multiplicity ~seed =
+  let net =
+    match Generators.find_suite circuit with
+    | Some n -> n
+    | None -> invalid_arg ("Parbench: unknown suite circuit " ^ circuit)
+  in
+  let pats = Campaign.test_set net in
+  let expected = Logic_sim.responses net pats in
+  let rng = Rng.create seed in
+  let rec make_dlog attempts =
+    if attempts = 0 then failwith "Parbench: no failing defect combination found"
+    else begin
+      let defects = Injection.random_defects rng net Injection.default_mix multiplicity in
+      let observed = Injection.observed_responses net pats defects in
+      let dlog = Datalog.of_responses ~expected ~observed in
+      if Datalog.num_failing dlog = 0 then make_dlog (attempts - 1) else dlog
+    end
+  in
+  (net, pats, make_dlog 50)
+
+let run ?(circuit = "rnd1k") ?(domain_counts = [ 1; 2; 4; 8 ]) ?(repeats = 5)
+    ?(multiplicity = 3) ?(seed = 99) () =
+  let net, pats, dlog = prepare ~circuit ~multiplicity ~seed in
+  let kernels =
+    [
+      ("explain-build", fun d -> ignore (Explain.build ~domains:d net pats dlog));
+      ( "diagnose",
+        fun d ->
+          let config = { Noassume.default_config with domains = Some d } in
+          ignore (Noassume.diagnose ~config net pats dlog) );
+    ]
+  in
+  let samples =
+    List.concat_map
+      (fun (kernel, f) ->
+        let timed =
+          List.map
+            (fun d -> (d, time_median ~repeats (fun () -> f d)))
+            domain_counts
+        in
+        let base =
+          match List.assoc_opt 1 timed with
+          | Some ns -> ns
+          | None -> (match timed with (_, ns) :: _ -> ns | [] -> nan)
+        in
+        List.map
+          (fun (d, ns) ->
+            { kernel; domains = d; runs = repeats; median_ns = ns; speedup_vs_1 = base /. ns })
+          timed)
+      kernels
+  in
+  { circuit; repeats; samples }
+
+let to_table r =
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "Parallel scaling on %s (%d runs/point, wall clock)" r.circuit r.repeats)
+      [
+        ("kernel", Table.Left);
+        ("domains", Table.Right);
+        ("median ms", Table.Right);
+        ("speedup vs 1", Table.Right);
+      ]
+  in
+  List.iter
+    (fun s ->
+      Table.add_row table
+        [
+          s.kernel;
+          Table.cell_int s.domains;
+          Table.cell_float ~decimals:3 (s.median_ns /. 1e6);
+          Table.cell_float ~decimals:2 s.speedup_vs_1;
+        ])
+    r.samples;
+  table
+
+let json_of_report r =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "{\n  \"circuit\": %S,\n  \"repeats\": %d,\n  \"samples\": [\n" r.circuit
+    r.repeats;
+  List.iteri
+    (fun i s ->
+      Printf.bprintf buf
+        "    {\"kernel\": %S, \"domains\": %d, \"runs\": %d, \"median_ns\": %.0f, \
+         \"speedup_vs_1\": %.4f}%s\n"
+        s.kernel s.domains s.runs s.median_ns s.speedup_vs_1
+        (if i = List.length r.samples - 1 then "" else ","))
+    r.samples;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write_json ~path r =
+  let oc = open_out path in
+  output_string oc (json_of_report r);
+  close_out oc

@@ -1,0 +1,38 @@
+(** Parallel-scaling benchmark of the diagnosis kernels.
+
+    Times [Explain.build] and the end-to-end [Noassume.diagnose] on one
+    fixed multi-defect problem at several domain counts and reports
+    wall-clock medians plus speedups versus one domain.  The bench
+    executable runs this on the [rnd1k] suite circuit at 1/2/4/8 domains
+    and writes [BENCH_parallel.json]; the test suite runs a tiny [c17]
+    configuration as a smoke test of the domain pool. *)
+
+type sample = {
+  kernel : string;  (** ["explain-build"] or ["diagnose"]. *)
+  domains : int;
+  runs : int;  (** Timed runs behind the median (after one warm-up). *)
+  median_ns : float;  (** Median wall-clock nanoseconds per run. *)
+  speedup_vs_1 : float;  (** [median at 1 domain / median at this count]. *)
+}
+
+type report = { circuit : string; repeats : int; samples : sample list }
+
+val run :
+  ?circuit:string ->
+  ?domain_counts:int list ->
+  ?repeats:int ->
+  ?multiplicity:int ->
+  ?seed:int ->
+  unit ->
+  report
+(** Defaults: [rnd1k], domain counts [1; 2; 4; 8], 5 repeats, 3 injected
+    defects, seed 99.  Raises [Invalid_argument] on an unknown suite
+    circuit name. *)
+
+val to_table : report -> Table.t
+
+val json_of_report : report -> string
+(** Stable shape: [{"circuit", "repeats", "samples": [{"kernel",
+    "domains", "runs", "median_ns", "speedup_vs_1"}]}]. *)
+
+val write_json : path:string -> report -> unit

@@ -43,3 +43,12 @@ let ones = -1
 let mask_of_width k =
   assert (k >= 0 && k <= Bitvec.word_bits);
   if k = Bitvec.word_bits then ones else (1 lsl k) - 1
+
+let popcount = Bitvec.popcount_word
+
+let iter_bits w f =
+  let w = ref w in
+  while !w <> 0 do
+    f (Bitvec.ctz_word !w);
+    w := !w land (!w - 1)
+  done

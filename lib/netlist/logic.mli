@@ -41,3 +41,11 @@ val ones : int
 
 val mask_of_width : int -> int
 (** [mask_of_width k] has the low [k] bits set, [0 <= k <= 63]. *)
+
+val popcount : int -> int
+(** Set bits in a word. *)
+
+val iter_bits : int -> (int -> unit) -> unit
+(** [iter_bits w f] applies [f] to the index of every set bit of [w],
+    lowest first (ctz-based — cost is proportional to the number of set
+    bits, not the word width). *)

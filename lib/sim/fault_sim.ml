@@ -93,10 +93,7 @@ let signature t pats ~site ~stuck =
       let diffs = po_diffs t ~good ~width:block.Pattern.width ~site ~stuck in
       List.iter
         (fun (oi, d) ->
-          for k = 0 to block.Pattern.width - 1 do
-            if d lsr k land 1 = 1 then
-              Bitvec.set sig_.(oi) (block.Pattern.base + k) true
-          done)
+          Logic.iter_bits d (fun k -> Bitvec.set sig_.(oi) (block.Pattern.base + k) true))
         diffs)
     (Pattern.blocks pats);
   sig_

@@ -9,6 +9,12 @@ type t
 val word_bits : int
 (** Bits per word = 63 (OCaml native int width minus the tag bit). *)
 
+val popcount_word : int -> int
+(** Set bits in a raw word. *)
+
+val ctz_word : int -> int
+(** Index of the lowest set bit of a raw word; 63 on zero. *)
+
 val create : int -> t
 (** [create n] is an all-zero vector of length [n]. *)
 

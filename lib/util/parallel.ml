@@ -1,0 +1,198 @@
+(* Persistent domain pool.  Workers are spawned on demand (up to the
+   largest domain count ever requested, minus the calling domain), then
+   kept parked on a condition variable between batches; an idle pool
+   costs nothing.  A batch is a set of contiguous index chunks: the
+   caller runs chunk 0 inline, queues the rest, then helps drain the
+   global queue until its own batch completes — so a caller never
+   deadlocks waiting on tasks that only it could run.  Workers never
+   block on nested batches: a parallel call made from inside a worker
+   falls back to the inline sequential path. *)
+
+let max_domains = 64
+
+let clamp n = if n < 1 then 1 else if n > max_domains then max_domains else n
+
+let override = ref None
+
+let env_domains =
+  lazy
+    (match Sys.getenv_opt "MDD_DOMAINS" with
+    | None -> None
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some (clamp n)
+      | Some _ | None -> None))
+
+let set_domains n = override := Some (clamp n)
+
+(* The uncapped recommended count can be large on big servers; 8 is
+   plenty for the kernels here and keeps surprise memory use bounded.
+   MDD_DOMAINS / set_domains / ?domains all go past this soft cap. *)
+let default_domains () =
+  match !override with
+  | Some n -> n
+  | None -> (
+    match Lazy.force env_domains with
+    | Some n -> n
+    | None -> clamp (min (Domain.recommended_domain_count ()) 8))
+
+let resolve = function Some d -> clamp d | None -> default_domains ()
+
+(* --- Pool ----------------------------------------------------------- *)
+
+let pool_mutex = Mutex.create ()
+let pool_nonempty = Condition.create ()
+let pool_queue : (unit -> unit) Queue.t = Queue.create ()
+let nworkers = ref 0
+
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let rec worker_loop () =
+  Mutex.lock pool_mutex;
+  while Queue.is_empty pool_queue do
+    Condition.wait pool_nonempty pool_mutex
+  done;
+  let task = Queue.pop pool_queue in
+  Mutex.unlock pool_mutex;
+  task ();
+  worker_loop ()
+
+(* Must be called with [pool_mutex] held. *)
+let ensure_workers wanted =
+  while !nworkers < wanted do
+    incr nworkers;
+    let (_ : unit Domain.t) =
+      Domain.spawn (fun () ->
+          Domain.DLS.set in_worker true;
+          worker_loop ())
+    in
+    ()
+  done
+
+let try_pop () =
+  Mutex.lock pool_mutex;
+  let t = if Queue.is_empty pool_queue then None else Some (Queue.pop pool_queue) in
+  Mutex.unlock pool_mutex;
+  t
+
+type batch = {
+  mutex : Mutex.t;
+  finished : Condition.t;
+  mutable pending : int; (* chunks not yet completed *)
+  mutable failure : exn option; (* first exception raised by any chunk *)
+}
+
+let record_result batch = function
+  | None -> ()
+  | Some e ->
+    Mutex.lock batch.mutex;
+    if batch.failure = None then batch.failure <- Some e;
+    Mutex.unlock batch.mutex
+
+let chunk_done batch =
+  Mutex.lock batch.mutex;
+  batch.pending <- batch.pending - 1;
+  if batch.pending = 0 then Condition.broadcast batch.finished;
+  Mutex.unlock batch.mutex
+
+let run_protected body i lo hi =
+  match body i lo hi with () -> None | exception e -> Some e
+
+(* Run [body i lo hi] for every chunk; chunk 0 inline on the caller, the
+   rest on the pool.  Requires at least two chunks. *)
+let run_chunks chunks body =
+  let nchunks = Array.length chunks in
+  let batch =
+    { mutex = Mutex.create (); finished = Condition.create (); pending = nchunks; failure = None }
+  in
+  let task i () =
+    let lo, hi = chunks.(i) in
+    record_result batch (run_protected body i lo hi);
+    chunk_done batch
+  in
+  Mutex.lock pool_mutex;
+  ensure_workers (min (nchunks - 1) (max_domains - 1));
+  for i = 1 to nchunks - 1 do
+    Queue.push (task i) pool_queue
+  done;
+  Condition.broadcast pool_nonempty;
+  Mutex.unlock pool_mutex;
+  task 0 ();
+  (* Help: drain queued tasks (ours or an enclosing batch's) until this
+     batch has fully completed, then re-raise any chunk failure. *)
+  let rec help () =
+    Mutex.lock batch.mutex;
+    let finished = batch.pending = 0 in
+    Mutex.unlock batch.mutex;
+    if not finished then
+      match try_pop () with
+      | Some t ->
+        t ();
+        help ()
+      | None ->
+        Mutex.lock batch.mutex;
+        while batch.pending > 0 do
+          Condition.wait batch.finished batch.mutex
+        done;
+        Mutex.unlock batch.mutex
+  in
+  help ();
+  match batch.failure with Some e -> raise e | None -> ()
+
+let chunk_bounds n k =
+  let k = min k n in
+  let base = n / k and rem = n mod k in
+  Array.init k (fun i ->
+      let lo = (i * base) + min i rem in
+      (lo, lo + base + if i < rem then 1 else 0))
+
+(* Effective parallelism of a call: capped by the work size, forced to 1
+   inside a pool worker (nested calls run inline). *)
+let width domains n =
+  let d = min (resolve domains) n in
+  if Domain.DLS.get in_worker then 1 else d
+
+(* --- Public entry points -------------------------------------------- *)
+
+let parallel_for ?domains n body =
+  if n > 0 then begin
+    let d = width domains n in
+    if d <= 1 then body 0 n
+    else run_chunks (chunk_bounds n d) (fun _ lo hi -> body lo hi)
+  end
+
+let mapi_array ?domains f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let d = width domains n in
+    if d <= 1 then Array.mapi f a
+    else begin
+      let chunks = chunk_bounds n d in
+      let parts = Array.make (Array.length chunks) [||] in
+      run_chunks chunks (fun i lo hi ->
+          parts.(i) <- Array.init (hi - lo) (fun j -> f (lo + j) a.(lo + j)));
+      Array.concat (Array.to_list parts)
+    end
+  end
+
+let map_array ?domains f a = mapi_array ?domains (fun _ x -> f x) a
+
+let map_reduce ?domains ~map ~reduce ~init a =
+  let n = Array.length a in
+  if n = 0 then init
+  else begin
+    let d = width domains n in
+    if d <= 1 then Array.fold_left (fun acc x -> reduce acc (map x)) init a
+    else begin
+      let chunks = chunk_bounds n d in
+      let parts = Array.make (Array.length chunks) init in
+      run_chunks chunks (fun i lo hi ->
+          let acc = ref (map a.(lo)) in
+          for j = lo + 1 to hi - 1 do
+            acc := reduce !acc (map a.(j))
+          done;
+          parts.(i) <- !acc);
+      Array.fold_left reduce init parts
+    end
+  end

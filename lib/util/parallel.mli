@@ -1,0 +1,54 @@
+(** A small domain pool for data-parallel kernels.
+
+    The diagnosis hot paths — candidate-matrix construction, multiplet
+    scoring, campaign trials — are all loops over independent index
+    ranges.  This module runs such loops across OCaml 5 domains with a
+    persistent worker pool (stdlib [Domain] + [Mutex]/[Condition] only,
+    no external dependencies).
+
+    Determinism contract: work is partitioned into contiguous index
+    chunks assigned in index order, and reductions combine chunk results
+    in index order on the calling domain.  Given a pure (or
+    disjoint-write) body, results are identical for every domain count,
+    including the sequential [domains <= 1] fallback — which runs the
+    body inline and pays no synchronisation or allocation overhead.
+
+    The effective domain count of a call is, in decreasing precedence:
+    the [?domains] argument, the value given to {!set_domains}, the
+    [MDD_DOMAINS] environment variable, then
+    [Domain.recommended_domain_count ()] capped at {!max_domains}.
+    Nested calls from inside a worker run sequentially (no domain
+    explosion, no deadlock). *)
+
+val max_domains : int
+(** Hard cap on the worker pool size (64). *)
+
+val default_domains : unit -> int
+(** The domain count used when [?domains] is omitted; at least 1. *)
+
+val set_domains : int -> unit
+(** Override the process-wide default (clamped to [1 .. max_domains]).
+    Used by the [--domains] CLI flag; takes precedence over
+    [MDD_DOMAINS]. *)
+
+val parallel_for : ?domains:int -> int -> (int -> int -> unit) -> unit
+(** [parallel_for n body] partitions [0, n) into at most [domains]
+    contiguous chunks and calls [body lo hi] (half-open) once per chunk,
+    in parallel.  [body] must only write state disjoint per chunk.
+    Returns when every chunk is complete; completed-chunk writes are
+    visible to the caller. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array f a] is [Array.map f a], chunked across domains.  [f] is
+    applied exactly once per element; the result preserves order. *)
+
+val mapi_array : ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** [mapi_array f a] is [Array.mapi f a], chunked across domains. *)
+
+val map_reduce :
+  ?domains:int -> map:('a -> 'b) -> reduce:('b -> 'b -> 'b) -> init:'b -> 'a array -> 'b
+(** [map_reduce ~map ~reduce ~init a] folds [reduce] left-to-right over
+    [map a.(i)] in index order.  Each chunk folds its own elements;
+    chunk partials are combined in chunk order starting from [init], so
+    [reduce] must be associative with [init] as identity for the result
+    to be independent of the domain count. *)

@@ -1,0 +1,78 @@
+(* Smoke test of the parallel-scaling bench: a tiny c17 configuration
+   must produce a well-formed report and JSON without exercising the
+   heavy rnd1k run the bench executable uses. *)
+
+let run_tiny () = Parbench.run ~circuit:"c17" ~domain_counts:[ 1; 2 ] ~repeats:2 ()
+
+let test_report_shape () =
+  let r = run_tiny () in
+  Alcotest.(check string) "circuit" "c17" r.Parbench.circuit;
+  Alcotest.(check int) "repeats" 2 r.Parbench.repeats;
+  (* 2 kernels x 2 domain counts. *)
+  Alcotest.(check int) "sample count" 4 (List.length r.Parbench.samples);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%d median positive" s.Parbench.kernel s.Parbench.domains)
+        true
+        (s.Parbench.median_ns > 0.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%d speedup finite" s.Parbench.kernel s.Parbench.domains)
+        true
+        (Float.is_finite s.Parbench.speedup_vs_1 && s.Parbench.speedup_vs_1 > 0.0);
+      Alcotest.(check int) "runs" 2 s.Parbench.runs)
+    r.Parbench.samples;
+  let kernels =
+    List.sort_uniq compare (List.map (fun s -> s.Parbench.kernel) r.Parbench.samples)
+  in
+  Alcotest.(check (list string)) "kernels" [ "diagnose"; "explain-build" ] kernels;
+  List.iter
+    (fun s ->
+      if s.Parbench.domains = 1 then
+        Alcotest.(check (float 1e-9))
+          (s.Parbench.kernel ^ " baseline speedup")
+          1.0 s.Parbench.speedup_vs_1)
+    r.Parbench.samples
+
+let test_json_well_formed () =
+  let r = run_tiny () in
+  let json = Parbench.json_of_report r in
+  let has needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec at i = i + nl <= jl && (String.sub json i nl = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true (has needle))
+    [
+      "\"circuit\": \"c17\"";
+      "\"repeats\": 2";
+      "\"samples\"";
+      "\"kernel\": \"explain-build\"";
+      "\"kernel\": \"diagnose\"";
+      "\"domains\": 1";
+      "\"domains\": 2";
+      "\"median_ns\"";
+      "\"speedup_vs_1\"";
+    ];
+  (* Balanced braces/brackets — a cheap well-formedness proxy that keeps
+     the hand-rolled serializer honest. *)
+  let count c = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 json in
+  Alcotest.(check int) "balanced braces" (count '{') (count '}');
+  Alcotest.(check int) "balanced brackets" (count '[') (count ']')
+
+let test_unknown_circuit () =
+  Alcotest.check_raises "unknown circuit"
+    (Invalid_argument "Parbench: unknown suite circuit nonesuch") (fun () ->
+      ignore (Parbench.run ~circuit:"nonesuch" ()))
+
+let suite =
+  [
+    ( "bench-smoke",
+      [
+        Alcotest.test_case "parallel bench report shape" `Quick test_report_shape;
+        Alcotest.test_case "parallel bench JSON" `Quick test_json_well_formed;
+        Alcotest.test_case "unknown circuit" `Quick test_unknown_circuit;
+      ] );
+  ]

@@ -93,6 +93,34 @@ let test_mask_of_width () =
        pop m 0 = k)
   done
 
+let test_iter_bits () =
+  let bits w =
+    let acc = ref [] in
+    iter_bits w (fun i -> acc := i :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "zero word" [] (bits 0);
+  Alcotest.(check (list int)) "bit 0" [ 0 ] (bits 1);
+  Alcotest.(check (list int)) "bit 62" [ 62 ] (bits (1 lsl 62));
+  Alcotest.(check (list int)) "bits 0 and 62" [ 0; 62 ] (bits ((1 lsl 62) lor 1));
+  Alcotest.(check (list int))
+    "all ones, ascending"
+    (List.init Bitvec.word_bits Fun.id)
+    (bits ones);
+  Alcotest.(check (list int)) "scattered" [ 1; 5; 40 ] (bits ((1 lsl 40) lor 0b100010))
+
+let test_popcount () =
+  Alcotest.(check int) "zero" 0 (popcount 0);
+  Alcotest.(check int) "bit 0" 1 (popcount 1);
+  Alcotest.(check int) "bit 62" 1 (popcount (1 lsl 62));
+  Alcotest.(check int) "all ones" Bitvec.word_bits (popcount ones);
+  for k = 0 to Bitvec.word_bits - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "mask width %d" k)
+      k
+      (popcount (mask_of_width k))
+  done
+
 let suite =
   [
     ( "logic",
@@ -106,5 +134,7 @@ let suite =
         Alcotest.test_case "char roundtrip" `Quick test_char_roundtrip;
         Alcotest.test_case "ones" `Quick test_ones;
         Alcotest.test_case "mask_of_width" `Quick test_mask_of_width;
+        Alcotest.test_case "iter_bits" `Quick test_iter_bits;
+        Alcotest.test_case "popcount" `Quick test_popcount;
       ] );
   ]
