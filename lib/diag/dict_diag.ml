@@ -20,11 +20,15 @@ let build flavour net pats =
   let collapsed = Fault_list.collapse net in
   let sim = Fault_sim.create net in
   let npatterns = Pattern.count pats in
+  (* One good-machine pass shared by every dictionary entry. *)
+  let goods =
+    Array.of_list (List.map (Logic_sim.simulate_block net) (Pattern.blocks pats))
+  in
   let entries =
     List.map
       (fun fault ->
         let signature =
-          Fault_sim.signature sim pats ~site:fault.Fault_list.site
+          Fault_sim.signature sim ~goods pats ~site:fault.Fault_list.site
             ~stuck:fault.Fault_list.stuck
         in
         let detect = Bitvec.create npatterns in

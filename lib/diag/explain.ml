@@ -56,11 +56,15 @@ let build ?domains net pats dlog =
   let nobs = Array.length observations in
   let failing = Array.of_list (Datalog.failing_patterns dlog) in
   let nfp = Array.length failing in
-  let fail_index = Hashtbl.create nfp in
-  Array.iteri (fun i p -> Hashtbl.add fail_index p i) failing;
-  let obs_index = Hashtbl.create nobs in
+  let npos = Datalog.npos dlog in
+  (* Direct-indexed lookup tables — the inner loop below runs once per
+     error *bit*, so hash probes there dominated the whole build. *)
+  let fp_of_pattern = Array.make (max 1 (Datalog.npatterns dlog)) (-1) in
+  Array.iteri (fun i p -> fp_of_pattern.(p) <- i) failing;
+  let obs_of = Array.make (max 1 (nfp * npos)) (-1) in
   Array.iteri
-    (fun i (ob : Datalog.observation) -> Hashtbl.add obs_index (ob.pattern, ob.po) i)
+    (fun i (ob : Datalog.observation) ->
+      obs_of.((fp_of_pattern.(ob.pattern) * npos) + ob.po) <- i)
     observations;
   let nfail_pos = Array.map (fun p -> List.length (Datalog.failing_pos dlog p)) failing in
   let covers = Array.init ncand (fun _ -> Bitvec.create nobs) in
@@ -68,55 +72,85 @@ let build ?domains net pats dlog =
   let spurious = Array.make_matrix ncand nfp 0 in
   let mispredict_pass = Array.make ncand 0 in
   (* Good-machine words and per-pattern failing flags of every block,
-     computed once and shared read-only by all workers. *)
+     computed once and shared read-only by all workers; likewise the
+     PO-reachability screen. *)
   let blocks = Array.of_list (Pattern.blocks pats) in
-  let goods =
-    Parallel.map_array ?domains (fun b -> Logic_sim.simulate_block net b) blocks
-  in
+  let nblocks = Array.length blocks in
+  let goods = Array.map (fun b -> Logic_sim.simulate_block net b) blocks in
   let fail_masks =
     Array.map
       (fun (block : Pattern.block) ->
         let m = ref 0 in
         for k = 0 to block.width - 1 do
-          if Datalog.is_failing dlog (block.base + k) then m := !m lor (1 lsl k)
+          if fp_of_pattern.(block.base + k) >= 0 then m := !m lor (1 lsl k)
         done;
         !m)
       blocks
   in
+  let reach = Po_reach.compute net in
+  (* Cost-weighted chunking: a candidate's simulation cost scales with
+     its fanout cone, proxied by reachable-PO count times remaining
+     depth.  Uniform index ranges pack all the cheap near-output seeds
+     into the last chunk and stall the other domains. *)
+  let depth = Netlist.depth net in
+  let levels = Netlist.level_array net in
+  let weights =
+    Array.map
+      (fun (f : Fault_list.fault) ->
+        (1 + Po_reach.num_reachable reach f.site) * (1 + depth - levels.(f.site)))
+      candidates
+  in
   (* Candidate-partitioned fault simulation: each chunk owns a private
      [Fault_sim.t] scratch and writes only its own candidates' rows of
      the accumulators, so domains share nothing mutable and the result
-     is bit-identical for every domain count. *)
-  Parallel.parallel_for ?domains ncand (fun lo hi ->
-      let sim = Fault_sim.create net in
+     is bit-identical for every domain count.  All scratch is allocated
+     on the calling domain *before* the parallel region, and per-event
+     state lives in the refs below so each chunk allocates nothing but
+     its two callback closures: a region that never allocates never
+     triggers a stop-the-world collection mid-batch, which is what made
+     added domains slower than one on machines with fewer cores than
+     domains. *)
+  let plan = Parallel.weighted_chunks ?domains ~weights () in
+  let sims = Array.map (fun _ -> Fault_sim.create ~reach net) plan in
+  Parallel.run_plan ?domains plan (fun ci lo hi ->
+      let sim = sims.(ci) in
+      let cur_base = ref 0 in
+      let cur_oi = ref 0 in
+      let any = ref 0 in
+      let cur_covers = ref covers.(lo) in
+      let cur_matched = ref matched.(lo) in
+      let cur_spurious = ref spurious.(lo) in
+      let on_bit k =
+        let fp = fp_of_pattern.(!cur_base + k) in
+        if fp >= 0 then
+          if obs_of.((fp * npos) + !cur_oi) >= 0 then begin
+            Bitvec.set !cur_covers obs_of.((fp * npos) + !cur_oi) true;
+            !cur_matched.(fp) <- !cur_matched.(fp) + 1
+          end
+          else !cur_spurious.(fp) <- !cur_spurious.(fp) + 1
+      in
+      let on_po oi d =
+        any := !any lor d;
+        cur_oi := oi;
+        Logic.iter_bits d on_bit
+      in
       for c = lo to hi - 1 do
         let f = candidates.(c) in
-        Array.iteri
-          (fun bi (block : Pattern.block) ->
-            let width = block.width in
-            let diffs =
-              Fault_sim.po_diffs sim ~good:goods.(bi) ~width ~site:f.Fault_list.site
-                ~stuck:f.Fault_list.stuck
-            in
-            let any = ref 0 in
-            List.iter
-              (fun (oi, d) ->
-                any := !any lor d;
-                Logic.iter_bits d (fun k ->
-                    let p = block.base + k in
-                    match Hashtbl.find_opt fail_index p with
-                    | Some fp -> (
-                      match Hashtbl.find_opt obs_index (p, oi) with
-                      | Some obs ->
-                        Bitvec.set covers.(c) obs true;
-                        matched.(c).(fp) <- matched.(c).(fp) + 1
-                      | None -> spurious.(c).(fp) <- spurious.(c).(fp) + 1)
-                    | None -> ()))
-              diffs;
-            (* Passing patterns where the candidate predicts any failure. *)
-            let pass_pred = !any land lnot fail_masks.(bi) land Logic.mask_of_width width in
-            mispredict_pass.(c) <- mispredict_pass.(c) + Logic.popcount pass_pred)
-          blocks
+        cur_covers := covers.(c);
+        cur_matched := matched.(c);
+        cur_spurious := spurious.(c);
+        for bi = 0 to nblocks - 1 do
+          let block = blocks.(bi) in
+          cur_base := block.base;
+          any := 0;
+          Fault_sim.iter_po_diffs sim ~good:goods.(bi) ~width:block.width
+            ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck on_po;
+          (* Passing patterns where the candidate predicts any failure. *)
+          let pass_pred =
+            !any land lnot fail_masks.(bi) land Logic.mask_of_width block.width
+          in
+          mispredict_pass.(c) <- mispredict_pass.(c) + Logic.popcount pass_pred
+        done
       done);
   {
     net;

@@ -322,19 +322,14 @@ let infer_aggressors config m cache site members covers =
       List.iter2
         (fun ((block : Pattern.block), words) (observed, total_obs) ->
           let delta = words.(site) lxor words.(a) in
-          let diffs =
-            Fault_sim.po_diffs_delta sim ~good:words ~width:block.Pattern.width ~site
-              ~delta
-          in
           let explained_here = ref 0 in
-          List.iter
-            (fun (oi, d) ->
+          Fault_sim.iter_po_diffs_delta sim ~good:words ~width:block.Pattern.width
+            ~site ~delta (fun oi d ->
               let obs = observed.(oi) in
               explained_here := !explained_here + Logic.popcount (d land obs);
-              spurious := !spurious + Logic.popcount (d land lnot obs))
-            diffs;
+              spurious := !spurious + Logic.popcount (d land lnot obs));
           (* An observed failure the hypothesis does not reproduce is a
-             miss, whether or not the output shows up in [diffs]. *)
+             miss, whether or not the output differs at all. *)
           missed := !missed + (total_obs - !explained_here))
         cache.blocks block_obs;
       (10 * !missed) + !spurious

@@ -76,11 +76,20 @@ let score_block net dlog overlay (block : Pattern.block) =
     spurious_pass = !spurious_pass;
   }
 
+(* Below this many blocks one evaluation is far cheaper than the domain
+   spawns a parallel batch would cost (~1 ms each), so small pattern
+   sets score inline whatever domain count the caller asked for — the
+   greedy refinement loop in [Noassume] calls this hundreds of times.
+   The reduction is associative either way, so the result is
+   unaffected. *)
+let parallel_grain_blocks = 64
+
 let evaluate ?domains net pats dlog overlay =
+  let blocks = Array.of_list (Pattern.blocks pats) in
+  let domains = if Array.length blocks < parallel_grain_blocks then Some 1 else domains in
   Parallel.map_reduce ?domains
     ~map:(score_block net dlog overlay)
-    ~reduce:add ~init:zero
-    (Array.of_list (Pattern.blocks pats))
+    ~reduce:add ~init:zero blocks
 
 let overlay_of_multiplet faults =
   let sites = List.sort_uniq compare (List.map (fun f -> f.Fault_list.site) faults) in

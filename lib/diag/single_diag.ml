@@ -35,11 +35,17 @@ let diagnose ?(keep = 20) net pats dlog =
   let collapsed = Fault_list.collapse net in
   let faults = Fault_list.representatives collapsed in
   let sim = Fault_sim.create net in
+  (* Good-machine words computed once for the whole ranking pass instead
+     of once per fault inside [signature]. *)
+  let goods =
+    Array.of_list (List.map (Logic_sim.simulate_block net) (Pattern.blocks pats))
+  in
   let scored =
     List.map
       (fun f ->
         let signature =
-          Fault_sim.signature sim pats ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck
+          Fault_sim.signature sim ~goods pats ~site:f.Fault_list.site
+            ~stuck:f.Fault_list.stuck
         in
         { fault = f; score = score_signature dlog signature })
       faults

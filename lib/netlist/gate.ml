@@ -100,6 +100,86 @@ let eval_word kind args =
   | Xnor when n >= 2 -> lnot (fold ( lxor ) 0)
   | Input | Buf | Not | And | Nand | Or | Nor | Xor | Xnor -> bad_eval kind
 
+(* Dense opcodes for the flat-array kernels: every kind, including the
+   two constant polarities, gets a small int so hot loops dispatch on an
+   immediate instead of a boxed-payload variant. *)
+let code_input = 0
+let code_const0 = 1
+let code_const1 = 2
+let code_buf = 3
+let code_not = 4
+let code_and = 5
+let code_nand = 6
+let code_or = 7
+let code_nor = 8
+let code_xor = 9
+let code_xnor = 10
+
+let code = function
+  | Input -> code_input
+  | Const false -> code_const0
+  | Const true -> code_const1
+  | Buf -> code_buf
+  | Not -> code_not
+  | And -> code_and
+  | Nand -> code_nand
+  | Or -> code_or
+  | Nor -> code_nor
+  | Xor -> code_xor
+  | Xnor -> code_xnor
+
+(* Word-level evaluation over a CSR fanin slice: operand [i] is
+   [values.(fanin.(i))] for [i] in [lo, hi).  No argument array is ever
+   materialized; arity was validated at netlist construction. *)
+let eval_flat code values (fanin : int array) lo hi =
+  if code = code_const0 then 0
+  else if code = code_const1 then Logic.ones
+  else if code = code_buf then values.(fanin.(lo))
+  else if code = code_not then lnot values.(fanin.(lo))
+  else if code = code_and then begin
+    let acc = ref values.(fanin.(lo)) in
+    for i = lo + 1 to hi - 1 do
+      acc := !acc land values.(fanin.(i))
+    done;
+    !acc
+  end
+  else if code = code_nand then begin
+    let acc = ref values.(fanin.(lo)) in
+    for i = lo + 1 to hi - 1 do
+      acc := !acc land values.(fanin.(i))
+    done;
+    lnot !acc
+  end
+  else if code = code_or then begin
+    let acc = ref values.(fanin.(lo)) in
+    for i = lo + 1 to hi - 1 do
+      acc := !acc lor values.(fanin.(i))
+    done;
+    !acc
+  end
+  else if code = code_nor then begin
+    let acc = ref values.(fanin.(lo)) in
+    for i = lo + 1 to hi - 1 do
+      acc := !acc lor values.(fanin.(i))
+    done;
+    lnot !acc
+  end
+  else if code = code_xor then begin
+    let acc = ref values.(fanin.(lo)) in
+    for i = lo + 1 to hi - 1 do
+      acc := !acc lxor values.(fanin.(i))
+    done;
+    !acc
+  end
+  else if code = code_xnor then begin
+    let acc = ref values.(fanin.(lo)) in
+    for i = lo + 1 to hi - 1 do
+      acc := !acc lxor values.(fanin.(i))
+    done;
+    lnot !acc
+  end
+  else invalid_arg "Gate.eval_flat: Input or unknown opcode"
+
 let controlling = function
   | And | Nand -> Some false
   | Or | Nor -> Some true

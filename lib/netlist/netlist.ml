@@ -11,6 +11,14 @@ type t = {
   levels : int array;
   topo : net array;
   by_name : (string, net) Hashtbl.t;
+  (* Flat CSR mirrors of the adjacency, plus a per-net opcode table: the
+     simulation kernels index these directly instead of walking
+     per-gate sub-arrays. *)
+  fanin_csr : int array;
+  fanin_off : int array; (* length num_nets + 1 *)
+  fanout_csr : int array;
+  fanout_off : int array; (* length num_nets + 1 *)
+  codes : int array; (* Gate.code per net *)
 }
 
 let num_nets t = Array.length t.kinds
@@ -31,6 +39,13 @@ let fanout t n = t.fanouts.(n)
 let level t n = t.levels.(n)
 let topo_order t = t.topo
 let name t n = t.names.(n)
+
+let fanin_csr t = t.fanin_csr
+let fanin_offsets t = t.fanin_off
+let fanout_csr t = t.fanout_csr
+let fanout_offsets t = t.fanout_off
+let gate_codes t = t.codes
+let level_array t = t.levels
 
 let is_pi t n = match t.kinds.(n) with Gate.Input -> true | _ -> false
 let is_po t n = t.po_index.(n) >= 0
@@ -138,7 +153,37 @@ let make ~names ~kinds ~fanins ~pos =
         invalid_arg (Printf.sprintf "Netlist.make: duplicate net name %S" s);
       Hashtbl.add by_name s i)
     names;
-  { names; kinds; fanins; fanouts; pis; pos; po_index; levels; topo; by_name }
+  let csr_of adj =
+    let off = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      off.(i + 1) <- off.(i) + Array.length adj.(i)
+    done;
+    let csr = Array.make off.(n) 0 in
+    Array.iteri
+      (fun i srcs -> Array.blit srcs 0 csr off.(i) (Array.length srcs))
+      adj;
+    (csr, off)
+  in
+  let fanin_csr, fanin_off = csr_of fanins in
+  let fanout_csr, fanout_off = csr_of fanouts in
+  let codes = Array.map Gate.code kinds in
+  {
+    names;
+    kinds;
+    fanins;
+    fanouts;
+    pis;
+    pos;
+    po_index;
+    levels;
+    topo;
+    by_name;
+    fanin_csr;
+    fanin_off;
+    fanout_csr;
+    fanout_off;
+    codes;
+  }
 
 let fanin_cone t root =
   let seen = Array.make (num_nets t) false in

@@ -66,6 +66,28 @@ val name : t -> net -> string
 val find : t -> string -> net option
 (** Look a net up by name. *)
 
+(** {1 Flat CSR views}
+
+    Read-only mirrors of the adjacency and gate kinds as flat integer
+    arrays, for the allocation-free simulation kernels.  The fanins of
+    net [n] are [fanin_csr.(i)] for [i] in
+    [fanin_offsets.(n), fanin_offsets.(n+1)); likewise fanouts.  The
+    arrays are the netlist's own — callers must not mutate them. *)
+
+val fanin_csr : t -> int array
+val fanin_offsets : t -> int array
+(** Length [num_nets + 1]. *)
+
+val fanout_csr : t -> int array
+val fanout_offsets : t -> int array
+(** Length [num_nets + 1]. *)
+
+val gate_codes : t -> int array
+(** [Gate.code] of every net's driver, indexed by net. *)
+
+val level_array : t -> int array
+(** All levels at once (same values as {!level}). *)
+
 val iter_nets : t -> (net -> unit) -> unit
 
 (** {1 Analysis helpers} *)

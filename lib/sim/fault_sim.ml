@@ -1,99 +1,224 @@
+(* Scratch layout: everything the steady-state path touches is a flat
+   preallocated int array — per-level frontiers with cursor lengths, a
+   touched stack for O(|cone|) reset, and the netlist's CSR adjacency.
+   [propagate] therefore performs no heap allocation at all. *)
 type t = {
   net : Netlist.t;
+  reach : Po_reach.t;
+  pos : int array; (* PO net ids, by PO position *)
   delta : int array; (* faulty XOR good, for touched nets only *)
   queued : bool array;
-  buckets : Netlist.net list array; (* per level, transient *)
-  mutable touched : Netlist.net list;
+  bucket : int array array; (* per level; capacity = nets at that level *)
+  bucket_len : int array;
+  touched : int array; (* stack of nets whose delta may be non-zero *)
+  mutable ntouched : int;
 }
 
-let create net =
+let create ?reach net =
   let n = Netlist.num_nets net in
+  let depth = Netlist.depth net in
+  let levels = Netlist.level_array net in
+  let counts = Array.make (depth + 1) 0 in
+  Array.iter (fun l -> counts.(l) <- counts.(l) + 1) levels;
+  let reach = match reach with Some r -> r | None -> Po_reach.compute net in
   {
     net;
+    reach;
+    pos = Netlist.pos net;
     delta = Array.make n 0;
     queued = Array.make n false;
-    buckets = Array.make (Netlist.depth net + 1) [];
-    touched = [];
+    bucket = Array.map (fun c -> Array.make (max 1 c) 0) counts;
+    bucket_len = Array.make (depth + 1) 0;
+    touched = Array.make (max 1 n) 0;
+    ntouched = 0;
   }
 
 let netlist t = t.net
+let reach t = t.reach
 
-let reset t =
-  List.iter
-    (fun n ->
-      t.delta.(n) <- 0;
-      t.queued.(n) <- false)
-    t.touched;
-  t.touched <- []
+(* Faulty-machine gate evaluation: operand [i] is
+   [good.(src) lxor delta.(src)] for the gate's CSR fanin slice.  A
+   twin of [Gate.eval_flat] specialised to the two-array read so no
+   argument array (and no closure) is ever built.  Only reachable from
+   fanout edges, so the driver is never an Input/Const. *)
+(* The operand reads are written out longhand in every arm (rather than
+   through a local helper function) because without flambda a local
+   closure over [good]/[delta] is heap-allocated per gate event — the
+   exact per-event garbage this kernel exists to avoid. *)
+let eval_faulty code (good : int array) (delta : int array) (fanin : int array)
+    lo hi =
+  if code = Gate.code_buf then begin
+    let s = fanin.(lo) in
+    good.(s) lxor delta.(s)
+  end
+  else if code = Gate.code_not then begin
+    let s = fanin.(lo) in
+    lnot (good.(s) lxor delta.(s))
+  end
+  else if code = Gate.code_and then begin
+    let s0 = fanin.(lo) in
+    let acc = ref (good.(s0) lxor delta.(s0)) in
+    for i = lo + 1 to hi - 1 do
+      let s = fanin.(i) in
+      acc := !acc land (good.(s) lxor delta.(s))
+    done;
+    !acc
+  end
+  else if code = Gate.code_nand then begin
+    let s0 = fanin.(lo) in
+    let acc = ref (good.(s0) lxor delta.(s0)) in
+    for i = lo + 1 to hi - 1 do
+      let s = fanin.(i) in
+      acc := !acc land (good.(s) lxor delta.(s))
+    done;
+    lnot !acc
+  end
+  else if code = Gate.code_or then begin
+    let s0 = fanin.(lo) in
+    let acc = ref (good.(s0) lxor delta.(s0)) in
+    for i = lo + 1 to hi - 1 do
+      let s = fanin.(i) in
+      acc := !acc lor (good.(s) lxor delta.(s))
+    done;
+    !acc
+  end
+  else if code = Gate.code_nor then begin
+    let s0 = fanin.(lo) in
+    let acc = ref (good.(s0) lxor delta.(s0)) in
+    for i = lo + 1 to hi - 1 do
+      let s = fanin.(i) in
+      acc := !acc lor (good.(s) lxor delta.(s))
+    done;
+    lnot !acc
+  end
+  else if code = Gate.code_xor then begin
+    let s0 = fanin.(lo) in
+    let acc = ref (good.(s0) lxor delta.(s0)) in
+    for i = lo + 1 to hi - 1 do
+      let s = fanin.(i) in
+      acc := !acc lxor (good.(s) lxor delta.(s))
+    done;
+    !acc
+  end
+  else if code = Gate.code_xnor then begin
+    let s0 = fanin.(lo) in
+    let acc = ref (good.(s0) lxor delta.(s0)) in
+    for i = lo + 1 to hi - 1 do
+      let s = fanin.(i) in
+      acc := !acc lxor (good.(s) lxor delta.(s))
+    done;
+    lnot !acc
+  end
+  else invalid_arg "Fault_sim: unexpected gate in fanout cone"
 
-let enqueue t n =
-  if not t.queued.(n) then begin
-    t.queued.(n) <- true;
-    let lvl = Netlist.level t.net n in
-    t.buckets.(lvl) <- n :: t.buckets.(lvl)
+let[@inline] enqueue queued (levels : int array) bucket (bucket_len : int array)
+    m =
+  if not queued.(m) then begin
+    queued.(m) <- true;
+    let l = levels.(m) in
+    bucket.(l).(bucket_len.(l)) <- m;
+    bucket_len.(l) <- bucket_len.(l) + 1
   end
 
-(* Propagate the word-level difference [d0] injected at [site] through the
-   fanout cone, level by level.  [t.delta] holds faulty XOR good for every
-   net known to differ. *)
+(* Propagate the word-level difference [d0] injected at [site] through
+   the fanout cone, level by level.  [t.delta] holds faulty XOR good for
+   every net known to differ; fanout levels are strictly greater than a
+   gate's own, so a frontier never grows while it is drained. *)
 let propagate t ~good ~site d0 =
-  reset t;
-  t.delta.(site) <- d0;
-  t.touched <- [ site ];
-  Array.iter (fun m -> enqueue t m) (Netlist.fanout t.net site);
-  let depth = Array.length t.buckets in
-  for lvl = 0 to depth - 1 do
-    let nets = t.buckets.(lvl) in
-    t.buckets.(lvl) <- [];
-    List.iter
-      (fun m ->
-        t.queued.(m) <- false;
-        let fanin = Netlist.fanin t.net m in
-        let args = Array.map (fun src -> good.(src) lxor t.delta.(src)) fanin in
-        let faulty = Gate.eval_word (Netlist.kind t.net m) args in
-        let d = faulty lxor good.(m) in
-        if t.delta.(m) = 0 && d <> 0 then t.touched <- m :: t.touched;
-        if d <> t.delta.(m) then begin
-          t.delta.(m) <- d;
-          Array.iter (fun f -> enqueue t f) (Netlist.fanout t.net m)
-        end)
-      nets
+  let delta = t.delta in
+  for i = 0 to t.ntouched - 1 do
+    delta.(t.touched.(i)) <- 0
+  done;
+  t.ntouched <- 0;
+  delta.(site) <- d0;
+  t.touched.(0) <- site;
+  t.ntouched <- 1;
+  let net = t.net in
+  let levels = Netlist.level_array net in
+  let codes = Netlist.gate_codes net in
+  let fi = Netlist.fanin_csr net in
+  let fi_off = Netlist.fanin_offsets net in
+  let fo = Netlist.fanout_csr net in
+  let fo_off = Netlist.fanout_offsets net in
+  let queued = t.queued in
+  let bucket = t.bucket in
+  let bucket_len = t.bucket_len in
+  for e = fo_off.(site) to fo_off.(site + 1) - 1 do
+    enqueue queued levels bucket bucket_len fo.(e)
+  done;
+  for lvl = 0 to Array.length bucket - 1 do
+    let frontier = bucket.(lvl) in
+    let len = bucket_len.(lvl) in
+    bucket_len.(lvl) <- 0;
+    for i = 0 to len - 1 do
+      let m = frontier.(i) in
+      queued.(m) <- false;
+      let faulty = eval_faulty codes.(m) good delta fi fi_off.(m) fi_off.(m + 1) in
+      let d = faulty lxor good.(m) in
+      let old = delta.(m) in
+      if old = 0 && d <> 0 then begin
+        t.touched.(t.ntouched) <- m;
+        t.ntouched <- t.ntouched + 1
+      end;
+      if d <> old then begin
+        delta.(m) <- d;
+        for e = fo_off.(m) to fo_off.(m + 1) - 1 do
+          enqueue queued levels bucket bucket_len fo.(e)
+        done
+      end
+    done
   done
 
-let po_diffs_delta t ~good ~width ~site ~delta =
+let iter_po_diffs_delta t ~good ~width ~site ~delta f =
   let mask = Logic.mask_of_width width in
   let d0 = delta land mask in
-  if d0 = 0 then []
-  else begin
+  if d0 <> 0 then begin
     propagate t ~good ~site d0;
-    let out = ref [] in
-    let pos = Netlist.pos t.net in
-    for oi = Array.length pos - 1 downto 0 do
-      let d = t.delta.(pos.(oi)) land mask in
-      if d <> 0 then out := (oi, d) :: !out
-    done;
-    !out
+    let off = Po_reach.offsets t.reach in
+    let csr = Po_reach.reachable_csr t.reach in
+    let d = t.delta in
+    for i = off.(site) to off.(site + 1) - 1 do
+      let oi = csr.(i) in
+      let w = d.(t.pos.(oi)) land mask in
+      if w <> 0 then f oi w
+    done
   end
+
+let iter_po_diffs t ~good ~width ~site ~stuck f =
+  let stuck_word = if stuck then Logic.ones else 0 in
+  iter_po_diffs_delta t ~good ~width ~site ~delta:(stuck_word lxor good.(site)) f
+
+let po_diffs_delta t ~good ~width ~site ~delta =
+  let out = ref [] in
+  iter_po_diffs_delta t ~good ~width ~site ~delta (fun oi d -> out := (oi, d) :: !out);
+  List.rev !out
 
 let po_diffs t ~good ~width ~site ~stuck =
   let stuck_word = if stuck then Logic.ones else 0 in
   po_diffs_delta t ~good ~width ~site ~delta:(stuck_word lxor good.(site))
 
 let detects t ~good ~width ~site ~stuck =
-  List.fold_left (fun acc (_, d) -> acc lor d) 0 (po_diffs t ~good ~width ~site ~stuck)
+  let acc = ref 0 in
+  iter_po_diffs t ~good ~width ~site ~stuck (fun _ d -> acc := !acc lor d);
+  !acc
 
-let signature t pats ~site ~stuck =
+let signature t ?goods pats ~site ~stuck =
   let npat = Pattern.count pats in
-  let sig_ =
-    Array.init (Netlist.num_pos t.net) (fun _ -> Bitvec.create npat)
-  in
-  List.iter
-    (fun block ->
-      let good = Logic_sim.simulate_block t.net block in
-      let diffs = po_diffs t ~good ~width:block.Pattern.width ~site ~stuck in
-      List.iter
-        (fun (oi, d) ->
-          Logic.iter_bits d (fun k -> Bitvec.set sig_.(oi) (block.Pattern.base + k) true))
-        diffs)
-    (Pattern.blocks pats);
+  let blocks = Pattern.blocks pats in
+  (match goods with
+  | Some g when Array.length g <> List.length blocks ->
+    invalid_arg "Fault_sim.signature: goods/blocks length mismatch"
+  | Some _ | None -> ());
+  let sig_ = Array.init (Netlist.num_pos t.net) (fun _ -> Bitvec.create npat) in
+  List.iteri
+    (fun bi block ->
+      let good =
+        match goods with
+        | Some g -> g.(bi)
+        | None -> Logic_sim.simulate_block t.net block
+      in
+      iter_po_diffs t ~good ~width:block.Pattern.width ~site ~stuck (fun oi d ->
+          Logic.iter_bits d (fun k ->
+              Bitvec.set sig_.(oi) (block.Pattern.base + k) true)))
+    blocks;
   sig_

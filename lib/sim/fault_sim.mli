@@ -3,15 +3,27 @@
     The inner loop of diagnosis: given the good-machine words of a
     pattern block, propagate the effect of one stuck line through its
     fanout cone only, and report which primary outputs differ on which
-    patterns.  Amortised cost is proportional to the size of the affected
-    region, not the circuit. *)
+    patterns.  Amortised cost is proportional to the size of the
+    affected region, not the circuit.
+
+    The steady-state path is allocation-free: the per-level event
+    frontiers, the touched stack and the delta words are preallocated
+    flat arrays reset by cursor, gates evaluate straight out of the
+    netlist's CSR views, and output scans visit only the POs reachable
+    from the injection site (see {!Po_reach}). *)
 
 type t
-(** Reusable simulator (scratch buffers) bound to one netlist. *)
+(** Reusable simulator (scratch buffers) bound to one netlist.  Not
+    shareable across domains — give each worker its own. *)
 
-val create : Netlist.t -> t
+val create : ?reach:Po_reach.t -> Netlist.t -> t
+(** [?reach] shares a precomputed PO-reachability structure (it is
+    immutable); when omitted one is computed, an O(edges) sweep. *)
 
 val netlist : t -> Netlist.t
+
+val reach : t -> Po_reach.t
+(** The PO-reachability structure the simulator screens with. *)
 
 val po_diffs :
   t ->
@@ -22,8 +34,8 @@ val po_diffs :
   (int * int) list
 (** [po_diffs t ~good ~width ~site ~stuck]: simulate [site] stuck at
     [stuck] against the block whose good-machine words are [good] (live
-    pattern bits [0 .. width-1]).  Returns [(po_position, diff_word)] for
-    every PO whose masked diff word is non-zero. *)
+    pattern bits [0 .. width-1]).  Returns [(po_position, diff_word)]
+    for every PO whose masked diff word is non-zero, ascending. *)
 
 val po_diffs_delta :
   t ->
@@ -38,6 +50,28 @@ val po_diffs_delta :
     screened cheaply: the victim's delta under "victim follows net [a]"
     is just [good(victim) lxor good(a)]. *)
 
+val iter_po_diffs :
+  t ->
+  good:Logic_sim.net_values ->
+  width:int ->
+  site:Netlist.net ->
+  stuck:bool ->
+  (int -> int -> unit) ->
+  unit
+(** Allocation-free variant of {!po_diffs}: [f po_position diff_word]
+    for every differing PO, ascending.  The hot-loop entry point of
+    {!Explain.build}. *)
+
+val iter_po_diffs_delta :
+  t ->
+  good:Logic_sim.net_values ->
+  width:int ->
+  site:Netlist.net ->
+  delta:int ->
+  (int -> int -> unit) ->
+  unit
+(** Allocation-free variant of {!po_diffs_delta}. *)
+
 val detects :
   t ->
   good:Logic_sim.net_values ->
@@ -49,7 +83,14 @@ val detects :
     on pattern [k] of the block. *)
 
 val signature :
-  t -> Pattern.t -> site:Netlist.net -> stuck:bool -> Bitvec.t array
+  t ->
+  ?goods:Logic_sim.net_values array ->
+  Pattern.t ->
+  site:Netlist.net ->
+  stuck:bool ->
+  Bitvec.t array
 (** Full-set fault signature: per PO position, a bit per pattern set iff
-    that PO differs from the good machine.  Convenience wrapper that
-    simulates every block. *)
+    that PO differs from the good machine.  [?goods] supplies the
+    good-machine words of every block (in [Pattern.blocks] order) so
+    repeated calls against one test set stop paying good-machine
+    resimulation; when omitted each block is simulated on the fly. *)

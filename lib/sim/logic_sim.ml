@@ -1,12 +1,11 @@
 type net_values = int array
 
 let eval_net t values n =
-  match Netlist.kind t n with
-  | Gate.Input -> values.(n)
-  | kind ->
-    let fanin = Netlist.fanin t n in
-    let args = Array.map (fun src -> values.(src)) fanin in
-    Gate.eval_word kind args
+  let code = (Netlist.gate_codes t).(n) in
+  if code = Gate.code_input then values.(n)
+  else
+    let off = Netlist.fanin_offsets t in
+    Gate.eval_flat code values (Netlist.fanin_csr t) off.(n) off.(n + 1)
 
 let load_pis t block values =
   let pis = Netlist.pis t in
@@ -15,9 +14,16 @@ let load_pis t block values =
 let simulate_block t block =
   let values = Array.make (Netlist.num_nets t) 0 in
   load_pis t block values;
-  Array.iter
-    (fun n -> if not (Netlist.is_pi t n) then values.(n) <- eval_net t values n)
-    (Netlist.topo_order t);
+  let topo = Netlist.topo_order t in
+  let codes = Netlist.gate_codes t in
+  let csr = Netlist.fanin_csr t in
+  let off = Netlist.fanin_offsets t in
+  for i = 0 to Array.length topo - 1 do
+    let n = topo.(i) in
+    let code = codes.(n) in
+    if code <> Gate.code_input then
+      values.(n) <- Gate.eval_flat code values csr off.(n) off.(n + 1)
+  done;
   values
 
 let simulate_pattern t pi_vector =
@@ -115,17 +121,30 @@ let responses t pats = responses_with (fun b -> simulate_block t b) t pats
 let responses_overlay t pats overrides =
   responses_with (fun b -> simulate_block_overlay t b overrides) t pats
 
+(* Word-level comparator: one XOR pass per backing word, OR-folded
+   across outputs; per-pattern PO lists are only materialized for the
+   (rare) words that actually differ somewhere. *)
 let diff_outputs expected observed =
-  if Array.length expected <> Array.length observed then
+  let npos = Array.length expected in
+  if npos <> Array.length observed then
     invalid_arg "Logic_sim.diff_outputs: PO count mismatch";
-  let npat = if Array.length expected = 0 then 0 else Bitvec.length expected.(0) in
-  let out = ref [] in
-  for p = npat - 1 downto 0 do
-    let bad = ref [] in
-    for oi = Array.length expected - 1 downto 0 do
-      if Bitvec.get expected.(oi) p <> Bitvec.get observed.(oi) p then
-        bad := oi :: !bad
+  if npos = 0 then []
+  else begin
+    let nw = Bitvec.num_words expected.(0) in
+    let out = ref [] in
+    for wi = 0 to nw - 1 do
+      let any = ref 0 in
+      for oi = 0 to npos - 1 do
+        any := !any lor (Bitvec.word expected.(oi) wi lxor Bitvec.word observed.(oi) wi)
+      done;
+      Logic.iter_bits !any (fun k ->
+          let p = (wi * Bitvec.word_bits) + k in
+          let bad = ref [] in
+          for oi = npos - 1 downto 0 do
+            let diff = Bitvec.word expected.(oi) wi lxor Bitvec.word observed.(oi) wi in
+            if diff lsr k land 1 = 1 then bad := oi :: !bad
+          done;
+          out := (p, !bad) :: !out)
     done;
-    match !bad with [] -> () | l -> out := (p, l) :: !out
-  done;
-  !out
+    List.rev !out
+  end

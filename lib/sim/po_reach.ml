@@ -1,0 +1,70 @@
+type t = {
+  npos : int;
+  nwords : int;
+  masks : int array; (* num_nets * nwords, row-major *)
+  po_csr : int array;
+  po_off : int array; (* length num_nets + 1 *)
+}
+
+let word_bits = Bitvec.word_bits
+
+let compute net =
+  let n = Netlist.num_nets net in
+  let npos = Netlist.num_pos net in
+  let nwords = max 1 ((npos + word_bits - 1) / word_bits) in
+  let masks = Array.make (n * nwords) 0 in
+  Array.iteri
+    (fun oi po ->
+      let base = po * nwords in
+      masks.(base + (oi / word_bits)) <-
+        masks.(base + (oi / word_bits)) lor (1 lsl (oi mod word_bits)))
+    (Netlist.pos net);
+  (* Reverse topological sweep: a net reaches every PO its fanouts
+     reach, plus itself when observed. *)
+  let topo = Netlist.topo_order net in
+  let fo = Netlist.fanout_csr net in
+  let fo_off = Netlist.fanout_offsets net in
+  for i = n - 1 downto 0 do
+    let v = topo.(i) in
+    let vbase = v * nwords in
+    for e = fo_off.(v) to fo_off.(v + 1) - 1 do
+      let fbase = fo.(e) * nwords in
+      for w = 0 to nwords - 1 do
+        masks.(vbase + w) <- masks.(vbase + w) lor masks.(fbase + w)
+      done
+    done
+  done;
+  let po_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    let count = ref 0 in
+    for w = 0 to nwords - 1 do
+      count := !count + Bitvec.popcount_word masks.((v * nwords) + w)
+    done;
+    po_off.(v + 1) <- po_off.(v) + !count
+  done;
+  let po_csr = Array.make po_off.(n) 0 in
+  for v = 0 to n - 1 do
+    let fill = ref po_off.(v) in
+    for w = 0 to nwords - 1 do
+      let bits = ref masks.((v * nwords) + w) in
+      while !bits <> 0 do
+        po_csr.(!fill) <- (w * word_bits) + Bitvec.ctz_word !bits;
+        incr fill;
+        bits := !bits land (!bits - 1)
+      done
+    done
+  done;
+  { npos; nwords; masks; po_csr; po_off }
+
+let num_reachable t n = t.po_off.(n + 1) - t.po_off.(n)
+
+let mem t n oi =
+  t.masks.((n * t.nwords) + (oi / word_bits)) lsr (oi mod word_bits) land 1 = 1
+
+let iter_reachable t n f =
+  for i = t.po_off.(n) to t.po_off.(n + 1) - 1 do
+    f t.po_csr.(i)
+  done
+
+let offsets t = t.po_off
+let reachable_csr t = t.po_csr

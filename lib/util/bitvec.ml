@@ -37,6 +37,9 @@ let fill t b =
     t.words.(n - 1) <- t.words.(n - 1) land last_mask t
   end
 
+let num_words t = Array.length t.words
+let word t i = t.words.(i)
+
 let copy t = { len = t.len; words = Array.copy t.words }
 
 let equal a b = a.len = b.len && a.words = b.words

@@ -26,6 +26,14 @@ val set : t -> int -> bool -> unit
 val fill : t -> bool -> unit
 (** Set every bit. *)
 
+val num_words : t -> int
+(** Number of backing words (at least 1, even for length 0). *)
+
+val word : t -> int -> int
+(** [word t i] is backing word [i]: bits
+    [i * word_bits .. i * word_bits + word_bits - 1].  Bits at or past
+    [length t] are always zero.  Read-only view for word-level kernels. *)
+
 val copy : t -> t
 
 val equal : t -> t -> bool

@@ -1,12 +1,17 @@
-(* Persistent domain pool.  Workers are spawned on demand (up to the
-   largest domain count ever requested, minus the calling domain), then
-   kept parked on a condition variable between batches; an idle pool
-   costs nothing.  A batch is a set of contiguous index chunks: the
-   caller runs chunk 0 inline, queues the rest, then helps drain the
-   global queue until its own batch completes — so a caller never
-   deadlocks waiting on tasks that only it could run.  Workers never
-   block on nested batches: a parallel call made from inside a worker
-   falls back to the inline sequential path. *)
+(* Fork-join batches, not a persistent pool.  Each batch spawns its
+   worker domains, drains the chunk array through a shared atomic
+   cursor (caller included), joins the workers, and leaves *zero* idle
+   domains behind.  That last property is the point: on OCaml 5 every
+   stop-the-world section — minor collections, major-cycle phase
+   changes — must handshake every live domain, and a domain parked on a
+   condition variable answers through its backup thread, which the OS
+   must schedule first.  Measured on a busy single-CPU host that is
+   roughly 0.5 ms per parked domain per collection, a tax levied on all
+   sequential code in the process for as long as the idle workers
+   exist.  A [Domain.spawn]+join pair costs about a millisecond, paid
+   only by batches that asked for parallelism — so callers should go
+   parallel only when a batch comfortably outweighs a few spawns, and
+   run small regions inline. *)
 
 let max_domains = 64
 
@@ -38,106 +43,50 @@ let default_domains () =
 
 let resolve = function Some d -> clamp d | None -> default_domains ()
 
-(* --- Pool ----------------------------------------------------------- *)
-
-let pool_mutex = Mutex.create ()
-let pool_nonempty = Condition.create ()
-let pool_queue : (unit -> unit) Queue.t = Queue.create ()
-let nworkers = ref 0
-
 let in_worker = Domain.DLS.new_key (fun () -> false)
 
-let rec worker_loop () =
-  Mutex.lock pool_mutex;
-  while Queue.is_empty pool_queue do
-    Condition.wait pool_nonempty pool_mutex
-  done;
-  let task = Queue.pop pool_queue in
-  Mutex.unlock pool_mutex;
-  task ();
-  worker_loop ()
+(* Effective parallelism of a call: capped by the work size, forced to 1
+   inside a worker domain (nested calls run inline). *)
+let width domains n =
+  let d = min (resolve domains) n in
+  if Domain.DLS.get in_worker then 1 else d
 
-(* Must be called with [pool_mutex] held. *)
-let ensure_workers wanted =
-  while !nworkers < wanted do
-    incr nworkers;
-    let (_ : unit Domain.t) =
-      Domain.spawn (fun () ->
-          Domain.DLS.set in_worker true;
-          worker_loop ())
-    in
-    ()
-  done
-
-let try_pop () =
-  Mutex.lock pool_mutex;
-  let t = if Queue.is_empty pool_queue then None else Some (Queue.pop pool_queue) in
-  Mutex.unlock pool_mutex;
-  t
-
-type batch = {
-  mutex : Mutex.t;
-  finished : Condition.t;
-  mutable pending : int; (* chunks not yet completed *)
-  mutable failure : exn option; (* first exception raised by any chunk *)
-}
-
-let record_result batch = function
-  | None -> ()
-  | Some e ->
-    Mutex.lock batch.mutex;
-    if batch.failure = None then batch.failure <- Some e;
-    Mutex.unlock batch.mutex
-
-let chunk_done batch =
-  Mutex.lock batch.mutex;
-  batch.pending <- batch.pending - 1;
-  if batch.pending = 0 then Condition.broadcast batch.finished;
-  Mutex.unlock batch.mutex
-
-let run_protected body i lo hi =
-  match body i lo hi with () -> None | exception e -> Some e
-
-(* Run [body i lo hi] for every chunk; chunk 0 inline on the caller, the
-   rest on the pool.  Requires at least two chunks. *)
-let run_chunks chunks body =
+(* Run [body i lo hi] for every chunk, on [w] domains (the caller plus
+   [w - 1] spawned workers).  The atomic cursor hands chunks out in
+   index order; which domain runs which chunk varies between runs, but
+   a disjoint-write body keys its writes on the chunk index, so results
+   never depend on the assignment.  Requires [w >= 2] and at least two
+   chunks. *)
+let run_chunks w chunks body =
   let nchunks = Array.length chunks in
-  let batch =
-    { mutex = Mutex.create (); finished = Condition.create (); pending = nchunks; failure = None }
+  let cursor = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let drain () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i >= nchunks then continue := false
+      else
+        let lo, hi = chunks.(i) in
+        match body i lo hi with
+        | () -> ()
+        | exception e ->
+          (* Keep the first failure; later chunks still run so every
+             started write completes before the caller sees the raise. *)
+          ignore (Atomic.compare_and_set failure None (Some e))
+    done
   in
-  let task i () =
-    let lo, hi = chunks.(i) in
-    record_result batch (run_protected body i lo hi);
-    chunk_done batch
+  let workers =
+    Array.init
+      (min (w - 1) (nchunks - 1))
+      (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set in_worker true;
+            drain ()))
   in
-  Mutex.lock pool_mutex;
-  ensure_workers (min (nchunks - 1) (max_domains - 1));
-  for i = 1 to nchunks - 1 do
-    Queue.push (task i) pool_queue
-  done;
-  Condition.broadcast pool_nonempty;
-  Mutex.unlock pool_mutex;
-  task 0 ();
-  (* Help: drain queued tasks (ours or an enclosing batch's) until this
-     batch has fully completed, then re-raise any chunk failure. *)
-  let rec help () =
-    Mutex.lock batch.mutex;
-    let finished = batch.pending = 0 in
-    Mutex.unlock batch.mutex;
-    if not finished then
-      match try_pop () with
-      | Some t ->
-        t ();
-        help ()
-      | None ->
-        Mutex.lock batch.mutex;
-        while batch.pending > 0 do
-          Condition.wait batch.finished batch.mutex
-        done;
-        Mutex.unlock batch.mutex
-  in
-  help ();
-  match batch.failure with Some e -> raise e | None -> ()
+  drain ();
+  Array.iter Domain.join workers;
+  match Atomic.get failure with Some e -> raise e | None -> ()
 
 let chunk_bounds n k =
   let k = min k n in
@@ -146,11 +95,35 @@ let chunk_bounds n k =
       let lo = (i * base) + min i rem in
       (lo, lo + base + if i < rem then 1 else 0))
 
-(* Effective parallelism of a call: capped by the work size, forced to 1
-   inside a pool worker (nested calls run inline). *)
-let width domains n =
-  let d = min (resolve domains) n in
-  if Domain.DLS.get in_worker then 1 else d
+(* Contiguous chunks with near-equal weight sums: a linear sweep cuts a
+   chunk once it holds its fair share of the remaining weight (always
+   leaving enough elements for the remaining cuts).  Deterministic —
+   chunk boundaries depend only on the weights, never on timing. *)
+let chunk_bounds_weighted weights nchunks =
+  let n = Array.length weights in
+  let nchunks = max 1 (min nchunks n) in
+  let total = Array.fold_left (fun a w -> a + max 1 w) 0 weights in
+  let chunks = ref [] in
+  let lo = ref 0 in
+  let acc = ref 0 in
+  let spent = ref 0 in
+  let made = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + max 1 weights.(i);
+    let remaining = nchunks - !made in
+    if remaining > 1 && n - (i + 1) >= remaining - 1 then begin
+      let target = (total - !spent + remaining - 1) / remaining in
+      if !acc >= target then begin
+        chunks := (!lo, i + 1) :: !chunks;
+        lo := i + 1;
+        spent := !spent + !acc;
+        acc := 0;
+        incr made
+      end
+    end
+  done;
+  chunks := (!lo, n) :: !chunks;
+  Array.of_list (List.rev !chunks)
 
 (* --- Public entry points -------------------------------------------- *)
 
@@ -158,8 +131,34 @@ let parallel_for ?domains n body =
   if n > 0 then begin
     let d = width domains n in
     if d <= 1 then body 0 n
-    else run_chunks (chunk_bounds n d) (fun _ lo hi -> body lo hi)
+    else run_chunks d (chunk_bounds n d) (fun _ lo hi -> body lo hi)
   end
+
+let weighted_chunks ?domains ?(chunks_per_domain = 4) ~weights () =
+  let n = Array.length weights in
+  if n = 0 then [||]
+  else begin
+    let d = width domains n in
+    if d <= 1 then [| (0, n) |]
+    else chunk_bounds_weighted weights (d * max 1 chunks_per_domain)
+  end
+
+let run_plan ?domains plan body =
+  match Array.length plan with
+  | 0 -> ()
+  | 1 ->
+    let lo, hi = plan.(0) in
+    body 0 lo hi
+  | nchunks ->
+    let d = width domains nchunks in
+    if d <= 1 then
+      Array.iteri (fun i (lo, hi) -> body i lo hi) plan
+    else run_chunks d plan body
+
+let parallel_for_weighted ?domains ?chunks_per_domain ~weights body =
+  run_plan ?domains
+    (weighted_chunks ?domains ?chunks_per_domain ~weights ())
+    (fun _ lo hi -> body lo hi)
 
 let mapi_array ?domains f a =
   let n = Array.length a in
@@ -170,7 +169,7 @@ let mapi_array ?domains f a =
     else begin
       let chunks = chunk_bounds n d in
       let parts = Array.make (Array.length chunks) [||] in
-      run_chunks chunks (fun i lo hi ->
+      run_chunks d chunks (fun i lo hi ->
           parts.(i) <- Array.init (hi - lo) (fun j -> f (lo + j) a.(lo + j)));
       Array.concat (Array.to_list parts)
     end
@@ -187,7 +186,7 @@ let map_reduce ?domains ~map ~reduce ~init a =
     else begin
       let chunks = chunk_bounds n d in
       let parts = Array.make (Array.length chunks) init in
-      run_chunks chunks (fun i lo hi ->
+      run_chunks d chunks (fun i lo hi ->
           let acc = ref (map a.(lo)) in
           for j = lo + 1 to hi - 1 do
             acc := reduce !acc (map a.(j))

@@ -1,17 +1,28 @@
-(** A small domain pool for data-parallel kernels.
+(** Fork-join domain batches for data-parallel kernels.
 
     The diagnosis hot paths — candidate-matrix construction, multiplet
     scoring, campaign trials — are all loops over independent index
-    ranges.  This module runs such loops across OCaml 5 domains with a
-    persistent worker pool (stdlib [Domain] + [Mutex]/[Condition] only,
-    no external dependencies).
+    ranges.  This module runs such loops across OCaml 5 domains
+    (stdlib [Domain] + [Atomic] only, no external dependencies).
+
+    Each batch spawns its worker domains and joins them before
+    returning, leaving no idle domains behind.  That is deliberate: an
+    idle parked domain still has to answer every stop-the-world
+    handshake (minor collections, major-cycle phase changes), which on
+    a host with fewer cores than domains taxes {e all} code in the
+    process — measured at roughly 0.5 ms per parked domain per
+    collection on a single-CPU box.  A spawn+join pair costs about a
+    millisecond, so call these functions only for batches that dwarf a
+    few spawns and run small regions inline (pass [~domains:1] or keep
+    the region sequential).
 
     Determinism contract: work is partitioned into contiguous index
-    chunks assigned in index order, and reductions combine chunk results
-    in index order on the calling domain.  Given a pure (or
+    chunks whose boundaries depend only on the inputs, each chunk's
+    writes are keyed on its chunk index, and reductions combine chunk
+    results in index order on the calling domain.  Given a pure (or
     disjoint-write) body, results are identical for every domain count,
     including the sequential [domains <= 1] fallback — which runs the
-    body inline and pays no synchronisation or allocation overhead.
+    body inline and pays no spawn or synchronisation overhead.
 
     The effective domain count of a call is, in decreasing precedence:
     the [?domains] argument, the value given to {!set_domains}, the
@@ -21,7 +32,7 @@
     explosion, no deadlock). *)
 
 val max_domains : int
-(** Hard cap on the worker pool size (64). *)
+(** Hard cap on the per-batch domain count (64). *)
 
 val default_domains : unit -> int
 (** The domain count used when [?domains] is omitted; at least 1. *)
@@ -37,6 +48,44 @@ val parallel_for : ?domains:int -> int -> (int -> int -> unit) -> unit
     in parallel.  [body] must only write state disjoint per chunk.
     Returns when every chunk is complete; completed-chunk writes are
     visible to the caller. *)
+
+val parallel_for_weighted :
+  ?domains:int ->
+  ?chunks_per_domain:int ->
+  weights:int array ->
+  (int -> int -> unit) ->
+  unit
+(** [parallel_for_weighted ~weights body] is {!parallel_for} over
+    [0, Array.length weights), but chunk boundaries equalise the sum of
+    per-index [weights] instead of the index count, and the range is
+    oversplit into [chunks_per_domain] (default 4) chunks per domain so
+    the shared cursor absorbs weight-estimate error.  Use when
+    per-index cost varies widely (e.g. candidate fanout-cone size in
+    [Explain.build]); weights below 1 count as 1.  Chunk boundaries
+    depend only on the weights, so results of disjoint-write bodies
+    remain deterministic for every domain count. *)
+
+val weighted_chunks :
+  ?domains:int ->
+  ?chunks_per_domain:int ->
+  weights:int array ->
+  unit ->
+  (int * int) array
+(** The chunk plan behind {!parallel_for_weighted}, exposed so callers
+    can preallocate per-chunk scratch {e before} entering the parallel
+    region (allocation inside a region triggers stop-the-world
+    collections that stall every active domain — ruinous when domains
+    outnumber cores).  Chunks are non-empty, contiguous, in index
+    order, and cover [0, Array.length weights); a single chunk is
+    returned when the effective width is 1. *)
+
+val run_plan : ?domains:int -> (int * int) array -> (int -> int -> int -> unit) -> unit
+(** [run_plan plan body] calls [body i lo hi] once per chunk of a
+    {!weighted_chunks} plan, across at most [domains] domains (the
+    caller is one of them; a 1-chunk plan runs entirely inline).
+    [body] must only write state disjoint per chunk — key the writes on
+    the chunk index [i], since chunk-to-domain assignment is dynamic.
+    Pass the same [?domains] given to {!weighted_chunks}. *)
 
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array f a] is [Array.map f a], chunked across domains.  [f] is

@@ -1,0 +1,186 @@
+(* End-to-end oracles for the allocation-free simulation kernel: every
+   fast path (event-driven propagation with PO-reachability screening,
+   the direct-indexed [Explain.build] accumulators, precomputed-goods
+   signatures) must agree bit for bit with a brute-force overlay
+   resimulation that shares none of its code. *)
+
+let random_problem seed multiplicity =
+  let gates = 40 + (seed mod 100) in
+  let net = Generators.random_logic ~gates ~pis:6 ~pos:5 ~seed in
+  let rng = Rng.create (seed * 7) in
+  let pats = Pattern.random rng ~npis:6 ~count:80 in
+  let expected = Logic_sim.responses net pats in
+  let k = min multiplicity (max 1 (Injection.capacity net / 4)) in
+  let defects = Injection.random_defects rng net Injection.default_mix k in
+  let observed = Injection.observed_responses net pats defects in
+  let dlog = Datalog.of_responses ~expected ~observed in
+  (net, pats, dlog)
+
+(* --- po_diffs against overlay resimulation -------------------------- *)
+
+(* Unlike the stuck-at oracle in [Test_fault_sim], this drives
+   [iter_po_diffs_delta] with an arbitrary injected error word, the
+   entry point the aggressor screen in [Noassume] relies on. *)
+let prop_delta_injection_matches_overlay =
+  QCheck.Test.make
+    ~name:"iter_po_diffs_delta matches overlay resimulation (random delta)"
+    ~count:25
+    QCheck.(pair (int_range 1 100_000) (int_range 0 0x3FFFFFF))
+    (fun (seed, delta_bits) ->
+      let net = Generators.random_logic ~gates:60 ~pis:6 ~pos:4 ~seed in
+      let pats = Pattern.random (Rng.create seed) ~npis:6 ~count:50 in
+      let sim = Fault_sim.create net in
+      let site = Rng.int (Rng.create (seed + 1)) (Netlist.num_nets net) in
+      List.for_all
+        (fun (block : Pattern.block) ->
+          let good = Logic_sim.simulate_block net block in
+          let mask = Logic.mask_of_width block.width in
+          let delta = delta_bits land mask in
+          (* Reference: force the faulty word on the site and resimulate
+             the whole block from scratch. *)
+          let faulty_word = good.(site) lxor delta in
+          let overlay =
+            Logic_sim.simulate_block_overlay net block
+              [
+                {
+                  Logic_sim.target = site;
+                  behave =
+                    (fun ~computed:_ ~value_of:_ ~driven_of:_ ~base:_ -> faulty_word);
+                };
+              ]
+          in
+          let got = Array.make (Netlist.num_pos net) 0 in
+          Fault_sim.iter_po_diffs_delta sim ~good ~width:block.width ~site ~delta
+            (fun oi w -> got.(oi) <- w);
+          let ok = ref true in
+          Array.iteri
+            (fun oi po ->
+              let expect = (overlay.(po) lxor good.(po)) land mask in
+              if got.(oi) <> expect then ok := false)
+            (Netlist.pos net);
+          !ok)
+        (Pattern.blocks pats))
+
+(* --- Explain.build against a brute-force reference ------------------ *)
+
+(* Same accumulators as [Explain.build], computed the slow way: one full
+   overlay resimulation per (candidate, block), per-bit scans, and an
+   association list for the observation index.  No CSR, no reachability
+   screen, no event queue. *)
+let naive_matrices net pats dlog (candidates : Fault_list.fault array) =
+  let observations = Datalog.observations dlog in
+  let nobs = Array.length observations in
+  let failing = Array.of_list (Datalog.failing_patterns dlog) in
+  let nfp = Array.length failing in
+  let fp_of p =
+    let r = ref (-1) in
+    Array.iteri (fun i q -> if q = p then r := i) failing;
+    !r
+  in
+  let obs_index p po =
+    let r = ref (-1) in
+    Array.iteri
+      (fun i (ob : Datalog.observation) ->
+        if ob.pattern = p && ob.po = po then r := i)
+      observations;
+    !r
+  in
+  let ncand = Array.length candidates in
+  let covers = Array.init ncand (fun _ -> Bitvec.create nobs) in
+  let matched = Array.make_matrix ncand nfp 0 in
+  let spurious = Array.make_matrix ncand nfp 0 in
+  let mispredict_pass = Array.make ncand 0 in
+  Array.iteri
+    (fun c (f : Fault_list.fault) ->
+      List.iter
+        (fun (block : Pattern.block) ->
+          let good = Logic_sim.simulate_block net block in
+          let faulty =
+            Logic_sim.simulate_block_overlay net block
+              [ Logic_sim.force f.site f.stuck ]
+          in
+          for k = 0 to block.width - 1 do
+            let p = block.base + k in
+            let any = ref false in
+            Array.iteri
+              (fun oi po ->
+                if (good.(po) lxor faulty.(po)) lsr k land 1 = 1 then begin
+                  any := true;
+                  let fp = fp_of p in
+                  if fp >= 0 then
+                    let i = obs_index p oi in
+                    if i >= 0 then begin
+                      Bitvec.set covers.(c) i true;
+                      matched.(c).(fp) <- matched.(c).(fp) + 1
+                    end
+                    else spurious.(c).(fp) <- spurious.(c).(fp) + 1
+                end)
+              (Netlist.pos net);
+            if !any && fp_of p < 0 then
+              mispredict_pass.(c) <- mispredict_pass.(c) + 1
+          done)
+        (Pattern.blocks pats))
+    candidates;
+  (covers, matched, spurious, mispredict_pass)
+
+let prop_explain_matches_naive =
+  QCheck.Test.make
+    ~name:"Explain.build matches brute-force overlay reference" ~count:10
+    QCheck.(pair (int_range 1 100_000) (int_range 1 3))
+    (fun (seed, multiplicity) ->
+      let net, pats, dlog = random_problem seed multiplicity in
+      if Datalog.num_failing dlog = 0 then true
+      else begin
+        let m = Explain.build ~domains:1 net pats dlog in
+        let candidates = Explain.candidates m in
+        let covers, matched, spurious, mispredict_pass =
+          naive_matrices net pats dlog candidates
+        in
+        let nfp = Array.length (Explain.failing m) in
+        let ok = ref true in
+        Array.iteri
+          (fun c _ ->
+            if not (Bitvec.equal (Explain.covers m c) covers.(c)) then ok := false;
+            if Explain.mispredict_pass m c <> mispredict_pass.(c) then ok := false;
+            for fp = 0 to nfp - 1 do
+              if
+                Explain.matched m c fp <> matched.(c).(fp)
+                || Explain.spurious m c fp <> spurious.(c).(fp)
+              then ok := false
+            done)
+          candidates;
+        !ok
+      end)
+
+(* --- signature ~goods ----------------------------------------------- *)
+
+let prop_signature_goods_equivalent =
+  QCheck.Test.make
+    ~name:"signature ~goods = signature recomputing goods" ~count:25
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let net = Generators.random_logic ~gates:50 ~pis:6 ~pos:4 ~seed in
+      let pats = Pattern.random (Rng.create (seed + 3)) ~npis:6 ~count:70 in
+      let sim = Fault_sim.create net in
+      let goods =
+        Array.of_list
+          (List.map (Logic_sim.simulate_block net) (Pattern.blocks pats))
+      in
+      let site = Rng.int (Rng.create (seed + 4)) (Netlist.num_nets net) in
+      List.for_all
+        (fun stuck ->
+          let a = Fault_sim.signature sim ~goods pats ~site ~stuck in
+          let b = Fault_sim.signature sim pats ~site ~stuck in
+          Array.for_all2 Bitvec.equal a b)
+        [ false; true ])
+
+let suite =
+  [
+    ( "kernel-oracle",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_delta_injection_matches_overlay;
+          prop_explain_matches_naive;
+          prop_signature_goods_equivalent;
+        ] );
+  ]

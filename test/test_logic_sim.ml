@@ -175,6 +175,45 @@ let test_responses_and_diff () =
     done
   done
 
+let test_diff_outputs_order () =
+  (* The word-level rewrite must keep the documented order: diffs sorted
+     by ascending pattern index, each with its failing POs ascending —
+     downstream datalog construction and report text depend on it. *)
+  let net = Generators.c17 () in
+  let pats = Pattern.exhaustive ~npis:5 in
+  let expected = Logic_sim.responses net pats in
+  let g10 = Option.get (Netlist.find net "G10") in
+  let g11 = Option.get (Netlist.find net "G11") in
+  let observed =
+    Logic_sim.responses_overlay net pats
+      [ Logic_sim.force g10 true; Logic_sim.force g11 false ]
+  in
+  let diffs = Logic_sim.diff_outputs expected observed in
+  Alcotest.(check bool) "some diffs" true (diffs <> []);
+  let patterns = List.map fst diffs in
+  Alcotest.(check (list int)) "patterns ascending" (List.sort_uniq compare patterns)
+    patterns;
+  List.iter
+    (fun (p, pos) ->
+      Alcotest.(check bool) (Printf.sprintf "pattern %d: pos non-empty" p) true
+        (pos <> []);
+      Alcotest.(check (list int))
+        (Printf.sprintf "pattern %d: pos ascending" p)
+        (List.sort_uniq compare pos) pos)
+    diffs;
+  (* Pin the exact value on a known single-fault case: G16 stuck-0 on
+     c17 fails pattern 1 (G1=1, others 0) at PO 0 only. *)
+  let g16 = Option.get (Netlist.find net "G16") in
+  let obs1 = Logic_sim.responses_overlay net pats [ Logic_sim.force g16 false ] in
+  (match Logic_sim.diff_outputs expected obs1 with
+  | (p0, pos0) :: _ ->
+    Alcotest.(check bool) "first diff is the lowest failing pattern" true
+      (List.for_all
+         (fun (p, _) -> p >= p0)
+         (Logic_sim.diff_outputs expected obs1));
+    Alcotest.(check bool) "first diff has a PO" true (pos0 <> [])
+  | [] -> Alcotest.fail "G16 sa0 must fail somewhere on exhaustive patterns")
+
 let qcheck_block_vs_scalar_random_circuits =
   QCheck.Test.make ~name:"block sim matches scalar sim on random circuits" ~count:25
     QCheck.(pair (int_range 1 1000) (int_range 10 80))
@@ -211,6 +250,7 @@ let suite =
         Alcotest.test_case "overlay fixpoint backward ref" `Quick
           test_overlay_fixpoint_backward_reference;
         Alcotest.test_case "responses and diff" `Quick test_responses_and_diff;
+        Alcotest.test_case "diff_outputs order pinned" `Quick test_diff_outputs_order;
         QCheck_alcotest.to_alcotest qcheck_block_vs_scalar_random_circuits;
       ] );
   ]
