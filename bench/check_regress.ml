@@ -1,45 +1,171 @@
-(* Domain-scaling regression gate, wired into `dune runtest` but off by
-   default: timing checks on shared CI boxes flake, so it only runs
-   when MDD_BENCH_REGRESS is set (any non-empty value).
+(* Regression gates for the diagnosis kernels, wired into `dune runtest`
+   but off by default: set MDD_BENCH_REGRESS (any non-empty value) to
+   enable — CI's bench job does.  Thresholds live in thresholds.json,
+   committed next to this file, so the gate and CI read one source of
+   truth instead of inline literals.
 
-   The check pins the property the fork-join rework bought us: adding
-   domains must not make [Explain.build] meaningfully slower than one
-   domain, even on a host with a single CPU — where perfect parity is
-   unreachable (the extra domains still cost ~1 ms each to spawn and
-   every stop-the-world handshake serialises through one core), but the
-   old parked-pool collapse (0.47x at 4 domains, 0.26x at 8, measured
-   with this kernel before the rework) must never come back.  On a real
-   multicore box the same bound holds trivially.  The floor leaves
-   headroom below the ~0.7-0.9x this box measures, because a shared
-   single CPU adds tens of percent of run-to-run noise. *)
+   Two independent gates run against the rnd1k problem of
+   [Parbench.run] (fixed seed, so everything but wall time is
+   deterministic):
 
-let min_speedup_at_4 = 0.60
+   1. Counter gate.  The instrumented counters of one explain-build +
+      diagnose run at 1 domain are compared with the committed
+      baseline_stats.json.  Work counters (faults simulated, gate
+      events, scoring evaluations, candidate-pool size) must not grow
+      past [max_counter_growth] — the kernel-event regressions the
+      observability layer exists to catch — nor collapse below
+      [min_counter_ratio] of the baseline, which would mean the
+      instrumentation itself broke (a counter silently stuck at zero
+      passes any growth-only bound).  Counters are domain-count- and
+      machine-independent, so this gate never flakes.  Regenerate the
+      baseline after an intentional kernel change with:
+        dune exec bench/check_regress.exe -- --write-baseline
+
+   2. Timing gate.  The fork-join property PR 2 bought: adding domains
+      must not make [Explain.build] meaningfully slower than one domain
+      even on a single-CPU host (the old parked-pool collapse measured
+      0.47x at 4 domains).  The floor leaves headroom below the ~0.7-0.9x
+      a shared single CPU measures, because such hosts add tens of
+      percent of run-to-run noise. *)
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let thresholds_path = "thresholds.json"
+let baseline_path = "baseline_stats.json"
+
+type thresholds = {
+  min_speedup_at_4 : float;
+  max_counter_growth : float;
+  min_counter_ratio : float;
+  gated_counters : string list;
+}
+
+let load_thresholds () =
+  let json =
+    match Obs_json.parse_file thresholds_path with
+    | Ok j -> j
+    | Error msg -> die "check_regress: cannot read %s: %s" thresholds_path msg
+  in
+  let fnum key =
+    match Option.bind (Obs_json.member key json) Obs_json.num with
+    | Some f -> f
+    | None -> die "check_regress: %s: missing number %S" thresholds_path key
+  in
+  let gated_counters =
+    match Option.bind (Obs_json.member "gated_counters" json) Obs_json.list with
+    | Some l -> List.filter_map Obs_json.str l
+    | None -> die "check_regress: %s: missing list \"gated_counters\"" thresholds_path
+  in
+  {
+    min_speedup_at_4 = fnum "min_speedup_at_4";
+    max_counter_growth = fnum "max_counter_growth";
+    min_counter_ratio = fnum "min_counter_ratio";
+    gated_counters;
+  }
+
+(* The merged counters of one explain-build + one diagnose capture at a
+   fixed 1 domain: per-sample reports gate kernel work individually, but
+   the baseline pins their sum, which is what a whole run costs.  The
+   [Run_report] meta records the capture configuration. *)
+let capture_current () =
+  let report =
+    Parbench.run ~circuit:"rnd1k" ~domain_counts:[ 1 ] ~repeats:1 ~with_stats:true ()
+  in
+  let tally = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      match s.Parbench.stats with
+      | None -> die "check_regress: bench sample carries no stats"
+      | Some r ->
+        List.iter
+          (fun (name, v) ->
+            Hashtbl.replace tally name
+              (v + Option.value ~default:0 (Hashtbl.find_opt tally name)))
+          (Run_report.counters r))
+    report.Parbench.samples;
+  (report, Hashtbl.fold (fun name v acc -> (name, v) :: acc) tally [] |> List.sort compare)
+
+let check_counters t current =
+  let baseline =
+    match Obs_json.parse_file baseline_path with
+    | Ok j -> Run_report.counters_of_json j
+    | Error msg -> die "check_regress: cannot read %s: %s" baseline_path msg
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun name ->
+      match (List.assoc_opt name baseline, List.assoc_opt name current) with
+      | None, _ -> die "check_regress: %s lacks gated counter %S" baseline_path name
+      | _, None -> die "check_regress: current run lacks gated counter %S" name
+      | Some 0, Some cur ->
+        if cur <> 0 then begin
+          Printf.eprintf "check_regress: FAIL — counter %s: baseline 0, now %d\n" name cur;
+          incr failures
+        end
+      | Some base, Some cur ->
+        let ratio = float_of_int cur /. float_of_int base in
+        Printf.printf "check_regress: counter %-24s %9d vs baseline %9d (%.3fx)\n" name
+          cur base ratio;
+        if ratio > t.max_counter_growth then begin
+          Printf.eprintf
+            "check_regress: FAIL — counter %s grew %.3fx (> %.2fx allowed)\n" name ratio
+            t.max_counter_growth;
+          incr failures
+        end;
+        if ratio < t.min_counter_ratio then begin
+          Printf.eprintf
+            "check_regress: FAIL — counter %s collapsed to %.3fx (< %.2fx of \
+             baseline; instrumentation broken?)\n"
+            name ratio t.min_counter_ratio;
+          incr failures
+        end)
+    t.gated_counters;
+  if !failures > 0 then exit 1
+
+let check_timing t =
+  let report = Parbench.run ~circuit:"rnd1k" ~domain_counts:[ 1; 4 ] ~repeats:7 ~with_stats:false () in
+  let sample d =
+    match
+      List.find_opt
+        (fun s -> s.Parbench.kernel = "explain-build" && s.Parbench.domains = d)
+        report.Parbench.samples
+    with
+    | Some s -> s
+    | None -> die "check_regress: missing explain-build sample"
+  in
+  let s1 = sample 1 and s4 = sample 4 in
+  Printf.printf
+    "check_regress: explain-build %.2f ms @1 domain, %.2f ms @4 domains (speedup %.2fx, floor %.2fx)\n%!"
+    (s1.Parbench.median_ns /. 1e6)
+    (s4.Parbench.median_ns /. 1e6)
+    s4.Parbench.speedup_vs_1 t.min_speedup_at_4;
+  if s4.Parbench.speedup_vs_1 < t.min_speedup_at_4 then
+    die "check_regress: FAIL — explain-build at 4 domains regressed versus 1 domain"
+
+let write_baseline () =
+  let _report, counters = capture_current () in
+  let oc = open_out baseline_path in
+  Printf.fprintf oc "{\n  \"comment\": %S,\n  \"counters\": {"
+    "Deterministic counters of one rnd1k explain-build + diagnose capture at 1 domain \
+     (Parbench seed 99).  Regenerate: dune exec bench/check_regress.exe -- --write-baseline";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "%s\n    \"%s\": %d" (if i > 0 then "," else "")
+        (Obs_json.escape name) v)
+    counters;
+  Printf.fprintf oc "\n  }\n}\n";
+  close_out oc;
+  Printf.printf "check_regress: wrote %s (%d counters)\n" baseline_path
+    (List.length counters)
 
 let () =
-  match Sys.getenv_opt "MDD_BENCH_REGRESS" with
-  | None | Some "" ->
-    print_endline "check_regress: skipped (set MDD_BENCH_REGRESS=1 to enable)"
-  | Some _ ->
-    let report =
-      Parbench.run ~circuit:"rnd1k" ~domain_counts:[ 1; 4 ] ~repeats:7 ()
-    in
-    let sample d =
-      match
-        List.find_opt
-          (fun s -> s.Parbench.kernel = "explain-build" && s.Parbench.domains = d)
-          report.Parbench.samples
-      with
-      | Some s -> s
-      | None -> failwith "check_regress: missing explain-build sample"
-    in
-    let s1 = sample 1 and s4 = sample 4 in
-    Printf.printf
-      "check_regress: explain-build %.2f ms @1 domain, %.2f ms @4 domains (speedup %.2fx, floor %.2fx)\n%!"
-      (s1.Parbench.median_ns /. 1e6)
-      (s4.Parbench.median_ns /. 1e6)
-      s4.Parbench.speedup_vs_1 min_speedup_at_4;
-    if s4.Parbench.speedup_vs_1 < min_speedup_at_4 then begin
-      prerr_endline
-        "check_regress: FAIL — explain-build at 4 domains regressed versus 1 domain";
-      exit 1
-    end
+  if Array.mem "--write-baseline" Sys.argv then write_baseline ()
+  else
+    match Sys.getenv_opt "MDD_BENCH_REGRESS" with
+    | None | Some "" ->
+      print_endline "check_regress: skipped (set MDD_BENCH_REGRESS=1 to enable)"
+    | Some _ ->
+      let t = load_thresholds () in
+      let _report, current = capture_current () in
+      check_counters t current;
+      check_timing t

@@ -115,7 +115,21 @@ let run_parallel () =
   Table.print (Parbench.to_table report);
   let path = "BENCH_parallel.json" in
   Parbench.write_json ~path report;
-  Printf.printf "(wrote %s)\n\n%!" path
+  Printf.printf "(wrote %s)\n%!" path;
+  (* The instrumented counters of the full diagnose run at 1 domain,
+     standalone: the deterministic run report CI uploads next to the
+     scaling numbers (the same data is embedded per sample above). *)
+  (match
+     List.find_opt
+       (fun s -> s.Parbench.kernel = "diagnose" && s.Parbench.domains = 1)
+       report.Parbench.samples
+   with
+  | Some { Parbench.stats = Some stats; _ } ->
+    let stats_path = "BENCH_stats.json" in
+    Run_report.write ~timings:false ~path:stats_path stats;
+    Printf.printf "(wrote %s)\n%!" stats_path
+  | Some { Parbench.stats = None; _ } | None -> ());
+  print_newline ()
 
 (* --- Table/figure drivers ------------------------------------------ *)
 

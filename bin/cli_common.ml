@@ -74,3 +74,45 @@ let or_die = function
   | Error msg ->
     prerr_endline ("error: " ^ msg);
     exit 1
+
+(* --- Run-report plumbing (the observability layer's CLI surface) ----- *)
+
+let stats_arg =
+  let doc =
+    "Collect counters and phase timers for the run and emit a JSON run \
+     report: to stdout with a bare $(b,--stats), to $(docv) with \
+     $(b,--stats=FILE).  The $(b,MDD_STATS) environment variable does the \
+     same without touching the command line: a file path writes there, \
+     any other non-empty value writes to stderr."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "stats" ] ~docv:"FILE" ~doc)
+
+(* Where the report goes.  The flag wins over the environment; an env
+   value that is not obviously a switch is treated as a path. *)
+let stats_dest stats_flag =
+  match stats_flag with
+  | Some "-" | Some "" -> Some `Stdout
+  | Some path -> Some (`File path)
+  | None -> (
+    match Sys.getenv_opt "MDD_STATS" with
+    | None | Some "" -> None
+    | Some ("1" | "-" | "true" | "yes") -> Some `Stderr
+    | Some path -> Some (`File path))
+
+let init_stats stats_flag =
+  let dest = stats_dest stats_flag in
+  if dest <> None then Obs.enable ();
+  dest
+
+let emit_stats dest ~meta =
+  match dest with
+  | None -> ()
+  | Some dest -> (
+    let report = Run_report.capture ~meta () in
+    match dest with
+    | `Stdout -> print_string (Run_report.to_json report)
+    | `Stderr -> prerr_string (Run_report.to_json report)
+    | `File path -> Run_report.write ~path report)

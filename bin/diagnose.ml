@@ -22,8 +22,9 @@ let no_validate_arg =
   let doc = "Disable multiplet validation/refinement (ablation)." in
   Arg.(value & flag & info [ "no-validate" ] ~doc)
 
-let run bench suite patterns_file datalog_file method_ no_validate domains =
+let run bench suite patterns_file datalog_file method_ no_validate domains stats =
   Cli_common.apply_domains domains;
+  let stats_dest = Cli_common.init_stats stats in
   let net = Cli_common.or_die (Cli_common.load_circuit bench suite) in
   let pats = Cli_common.or_die (Cli_common.load_patterns net patterns_file) in
   let dlog =
@@ -37,7 +38,7 @@ let run bench suite patterns_file datalog_file method_ no_validate domains =
   Format.printf "circuit: %a@." Netlist.pp_stats net;
   Format.printf "datalog: %d failing patterns over %d outputs@."
     (Datalog.num_failing dlog) (Netlist.num_pos net);
-  match method_ with
+  (match method_ with
   | `Noassume ->
     let config =
       { Noassume.default_config with validate = not no_validate; domains }
@@ -50,7 +51,21 @@ let run bench suite patterns_file datalog_file method_ no_validate domains =
     print_string (Report.render_slat net r)
   | `Single ->
     let r = Single_diag.diagnose net pats dlog in
-    print_string (Report.render_single net r)
+    print_string (Report.render_single net r));
+  let method_name =
+    match method_ with `Noassume -> "noassume" | `Slat -> "slat" | `Single -> "single"
+  in
+  let circuit =
+    match (suite, bench) with Some s, _ -> s | None, Some b -> b | None, None -> ""
+  in
+  Cli_common.emit_stats stats_dest
+    ~meta:
+      [
+        ("tool", "diagnose");
+        ("method", method_name);
+        ("circuit", circuit);
+        ("domains", string_of_int (Parallel.default_domains ()));
+      ]
 
 let cmd =
   let doc = "locate multiple defects from a tester datalog" in
@@ -68,6 +83,7 @@ let cmd =
     (Cmd.info "diagnose" ~doc ~man)
     Term.(
       const run $ Cli_common.bench_arg $ Cli_common.suite_arg $ Cli_common.patterns_arg
-      $ datalog_arg $ method_arg $ no_validate_arg $ Cli_common.domains_arg)
+      $ datalog_arg $ method_arg $ no_validate_arg $ Cli_common.domains_arg
+      $ Cli_common.stats_arg)
 
 let () = exit (Cmd.eval cmd)

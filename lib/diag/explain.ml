@@ -1,3 +1,12 @@
+(* Counters published by [build]: candidate-pool size and the
+   fault-simulation work behind one matrix, folded in from the
+   per-chunk simulators after the parallel region (DESIGN.md §9). *)
+let c_builds = Obs.counter "explain.builds"
+let c_candidates = Obs.counter "explain.candidates"
+let c_observations = Obs.counter "explain.observations"
+let c_blocks = Obs.counter "explain.blocks"
+let c_pos_pruned = Obs.counter "po_reach.pos_pruned"
+
 type t = {
   net : Netlist.t;
   dlog : Datalog.t;
@@ -50,6 +59,7 @@ let seed_candidates net dlog =
   Array.of_list !l
 
 let build ?domains net pats dlog =
+  Obs.phase "explain-build" @@ fun () ->
   let candidates = seed_candidates net dlog in
   let ncand = Array.length candidates in
   let observations = Datalog.observations dlog in
@@ -152,6 +162,22 @@ let build ?domains net pats dlog =
           mispredict_pass.(c) <- mispredict_pass.(c) + Logic.popcount pass_pred
         done
       done);
+  if Obs.enabled () then begin
+    Obs.incr c_builds;
+    Obs.add c_candidates ncand;
+    Obs.add c_observations nobs;
+    Obs.add c_blocks nblocks;
+    Array.iter Fault_sim.publish_stats sims;
+    (* PO scans the reachability screen saved: every candidate-block
+       simulation visits only the site's reachable POs instead of all
+       of them. *)
+    let pruned = ref 0 in
+    Array.iter
+      (fun (f : Fault_list.fault) ->
+        pruned := !pruned + (npos - Po_reach.num_reachable reach f.site))
+      candidates;
+    Obs.add c_pos_pruned (!pruned * nblocks)
+  end;
   {
     net;
     dlog;

@@ -71,6 +71,15 @@ let effective_covers config m c =
    accidentally cover more, and sites get interleaved. *)
 type move = Single of int | Pair of int * int
 
+(* The cover/refine loops are where pathological datalogs hide, so both
+   publish their iteration counts (DESIGN.md §9). *)
+let c_cover_rounds = Obs.counter "cover.rounds"
+let c_cover_moves = Obs.counter "cover.moves"
+let c_cover_chosen = Obs.counter "cover.chosen"
+let c_refine_rounds = Obs.counter "refine.rounds"
+let c_refine_steps = Obs.counter "refine.steps"
+let c_aggressor_screens = Obs.counter "callouts.aggressor_screens"
+
 let greedy_cover config m =
   let candidates = Explain.candidates m in
   let ncand = Array.length candidates in
@@ -112,8 +121,10 @@ let greedy_cover config m =
      quadratic in the multiplet size. *)
   let in_chosen = Array.make ncand false in
   let nchosen = ref 0 in
+  let rounds = ref 0 in
   let continue = ref true in
   while !continue && !nchosen < config.max_multiplet do
+    incr rounds;
     let best = ref None in
     Array.iteri
       (fun mi mv ->
@@ -140,6 +151,11 @@ let greedy_cover config m =
           Bitvec.diff_into ~dst:uncovered covers.(c))
         (move_members mv)
   done;
+  if Obs.enabled () then begin
+    Obs.add c_cover_rounds !rounds;
+    Obs.add c_cover_moves (Array.length moves);
+    Obs.add c_cover_chosen !nchosen
+  end;
   (List.rev !chosen, covers)
 
 (* Drop members whose removal does not worsen the penalty; then try
@@ -236,6 +252,10 @@ let refine config m pats chosen covers =
       !current;
     ignore config
   done;
+  if Obs.enabled () then begin
+    Obs.add c_refine_rounds !rounds;
+    Obs.add c_refine_steps !steps
+  end;
   (!current, !current_score, !steps)
 
 (* Full good-machine words of every net, block by block, shared by the
@@ -345,10 +365,14 @@ let infer_aggressors config m cache site members covers =
         let ok =
           Hashtbl.fold (fun fp v acc -> acc && cache.good_at ~fp a = v) needed true
         in
-        if ok then candidates := (screen a, a) :: !candidates
+        if ok then begin
+          if Obs.enabled () then Obs.incr c_aggressor_screens;
+          candidates := (screen a, a) :: !candidates
+        end
       end
     done;
     let ranked = List.sort compare !candidates in
+    Fault_sim.publish_stats sim;
     List.filteri (fun i _ -> i < max_aggressors) (List.map snd ranked)
   end
 
@@ -460,10 +484,11 @@ let validate_bridges config m pats multiplet callouts score =
   end
 
 let diagnose_matrix ?(config = default_config) m pats =
-  let chosen, covers = greedy_cover config m in
+  let chosen, covers = Obs.phase "cover" (fun () -> greedy_cover config m) in
   let net = Explain.netlist m in
   let dlog = Explain.datalog m in
   let final, score, steps =
+    Obs.phase "refine" @@ fun () ->
     if config.validate && chosen <> [] then refine config m pats chosen covers
     else
       let faults = List.map (fun c -> (Explain.candidates m).(c)) chosen in
@@ -473,8 +498,11 @@ let diagnose_matrix ?(config = default_config) m pats =
   let multiplet =
     List.sort Fault_list.compare_fault (List.map (fun c -> cand.(c)) final)
   in
-  let callouts = build_callouts config m pats final covers in
-  let callouts, score = validate_bridges config m pats multiplet callouts score in
+  let callouts = Obs.phase "callouts" (fun () -> build_callouts config m pats final covers) in
+  let callouts, score =
+    Obs.phase "validate-bridges" (fun () ->
+        validate_bridges config m pats multiplet callouts score)
+  in
   {
     multiplet;
     callouts;

@@ -84,8 +84,15 @@ let score_block net dlog overlay (block : Pattern.block) =
    unaffected. *)
 let parallel_grain_blocks = 64
 
+let c_evaluations = Obs.counter "scoring.evaluations"
+let c_blocks_scored = Obs.counter "scoring.blocks_scored"
+
 let evaluate ?domains net pats dlog overlay =
   let blocks = Array.of_list (Pattern.blocks pats) in
+  if Obs.enabled () then begin
+    Obs.incr c_evaluations;
+    Obs.add c_blocks_scored (Array.length blocks)
+  end;
   let domains = if Array.length blocks < parallel_grain_blocks then Some 1 else domains in
   Parallel.map_reduce ?domains
     ~map:(score_block net dlog overlay)

@@ -29,6 +29,10 @@ let test_set net = (test_report net).Tpg.patterns
 
 let max_redraws_per_trial = 50
 
+let c_trials = Obs.counter "campaign.trials"
+let c_redraws = Obs.counter "campaign.redraws"
+let c_masked_trials = Obs.counter "campaign.masked_trials"
+
 let run ?(methods = all_methods) ?(config = Noassume.default_config)
     ?(mix = Injection.default_mix) ?patterns ?layout ?domains ~name net ~multiplicity
     ~trials ~seed =
@@ -100,9 +104,14 @@ let run ?(methods = all_methods) ?(config = Noassume.default_config)
           },
         redrawn )
   in
-  let results = Parallel.map_array ?domains run_trial trial_rngs in
+  let results = Obs.phase "campaign-trials" (fun () -> Parallel.map_array ?domains run_trial trial_rngs) in
   let outcomes = List.filter_map fst (Array.to_list results) in
   let redraws = Array.fold_left (fun acc (_, r) -> acc + r) 0 results in
+  if Obs.enabled () then begin
+    Obs.add c_trials trials;
+    Obs.add c_redraws redraws;
+    Obs.add c_masked_trials (trials - List.length outcomes)
+  end;
   { circuit = name; outcomes; redraws }
 
 let mean_slat_fraction t = Stats.mean (List.map (fun o -> o.slat_fraction) t.outcomes)

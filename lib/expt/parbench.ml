@@ -9,6 +9,7 @@ type sample = {
   runs : int;
   median_ns : float;
   speedup_vs_1 : float;
+  stats : Run_report.t option;
 }
 
 type report = { circuit : string; repeats : int; samples : sample list }
@@ -55,8 +56,30 @@ let prepare ~circuit ~multiplicity ~seed =
   in
   (net, pats, make_dlog 50)
 
+(* One extra untimed run with observability on, per sample: the timed
+   runs stay uninstrumented (collection off costs nothing, but the
+   capture run also pays [Obs.reset]/snapshot), and the counters it
+   yields are deterministic for the fixed seed, so the JSON is diffable
+   run to run.  Resets the process-global registry. *)
+let capture_stats ~circuit ~kernel ~domains f =
+  let was_enabled = Obs.enabled () in
+  Obs.reset ();
+  Obs.enable ();
+  f ();
+  let report =
+    Run_report.capture
+      ~meta:
+        [
+          ("circuit", circuit); ("kernel", kernel); ("domains", string_of_int domains);
+        ]
+      ()
+  in
+  if not was_enabled then Obs.disable ();
+  Obs.reset ();
+  report
+
 let run ?(circuit = "rnd1k") ?(domain_counts = [ 1; 2; 4; 8 ]) ?(repeats = 5)
-    ?(multiplicity = 3) ?(seed = 99) () =
+    ?(multiplicity = 3) ?(seed = 99) ?(with_stats = true) () =
   let net, pats, dlog = prepare ~circuit ~multiplicity ~seed in
   let kernels =
     [
@@ -82,7 +105,19 @@ let run ?(circuit = "rnd1k") ?(domain_counts = [ 1; 2; 4; 8 ]) ?(repeats = 5)
         in
         List.map
           (fun (d, ns) ->
-            { kernel; domains = d; runs = repeats; median_ns = ns; speedup_vs_1 = base /. ns })
+            let stats =
+              if with_stats then
+                Some (capture_stats ~circuit ~kernel ~domains:d (fun () -> f d))
+              else None
+            in
+            {
+              kernel;
+              domains = d;
+              runs = repeats;
+              median_ns = ns;
+              speedup_vs_1 = base /. ns;
+              stats;
+            })
           timed)
       kernels
   in
@@ -119,9 +154,16 @@ let json_of_report r =
     (fun i s ->
       Printf.bprintf buf
         "    {\"kernel\": %S, \"domains\": %d, \"runs\": %d, \"median_ns\": %.0f, \
-         \"speedup_vs_1\": %.4f}%s\n"
-        s.kernel s.domains s.runs s.median_ns s.speedup_vs_1
-        (if i = List.length r.samples - 1 then "" else ","))
+         \"speedup_vs_1\": %.4f"
+        s.kernel s.domains s.runs s.median_ns s.speedup_vs_1;
+      (* Timings are dropped from the embedded report so the only
+         nondeterministic numbers in the file stay in [median_ns]. *)
+      (match s.stats with
+      | Some report ->
+        Printf.bprintf buf ", \"stats\": %s"
+          (Obs_json.to_string (Run_report.to_obs_json ~timings:false report))
+      | None -> ());
+      Printf.bprintf buf "}%s\n" (if i = List.length r.samples - 1 then "" else ","))
     r.samples;
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf

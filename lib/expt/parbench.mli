@@ -13,6 +13,9 @@ type sample = {
   runs : int;  (** Timed runs behind the median (after one warm-up). *)
   median_ns : float;  (** Median wall-clock nanoseconds per run. *)
   speedup_vs_1 : float;  (** [median at 1 domain / median at this count]. *)
+  stats : Run_report.t option;
+      (** Counters of one extra untimed, instrumented run of the same
+          kernel (see [Obs]); [None] when [run] was told not to capture. *)
 }
 
 type report = { circuit : string; repeats : int; samples : sample list }
@@ -23,16 +26,21 @@ val run :
   ?repeats:int ->
   ?multiplicity:int ->
   ?seed:int ->
+  ?with_stats:bool ->
   unit ->
   report
 (** Defaults: [rnd1k], domain counts [1; 2; 4; 8], 5 repeats, 3 injected
-    defects, seed 99.  Raises [Invalid_argument] on an unknown suite
+    defects, seed 99, stats capture on.  Stats capture resets the global
+    [Obs] registry.  Raises [Invalid_argument] on an unknown suite
     circuit name. *)
 
 val to_table : report -> Table.t
 
 val json_of_report : report -> string
 (** Stable shape: [{"circuit", "repeats", "samples": [{"kernel",
-    "domains", "runs", "median_ns", "speedup_vs_1"}]}]. *)
+    "domains", "runs", "median_ns", "speedup_vs_1", "stats"}]}], where
+    ["stats"] is the sample's embedded run report without timing fields
+    (see [Run_report.to_obs_json]) — everything in the file except
+    [median_ns]/[speedup_vs_1] is deterministic for the fixed seed. *)
 
 val write_json : path:string -> report -> unit

@@ -1,0 +1,195 @@
+(* Process-global registry.  Counter cells are atomics so worker domains
+   increment without coordination; everything else (interning, dist and
+   phase aggregation, snapshots) is batch-granularity and goes through
+   one mutex.  OCaml 5's stdlib Mutex is domain-safe, so the library
+   needs no dependency beyond [unix] for the clock. *)
+
+type counter = { c_name : string; c_cell : int Atomic.t }
+
+type dist = {
+  d_name : string;
+  mutable dv_count : int;
+  mutable dv_sum : int;
+  mutable dv_min : int;
+  mutable dv_max : int;
+}
+
+type phase_tot = {
+  mutable ph_count : int;
+  mutable ph_ns : float;
+  mutable ph_gc_major : int;
+}
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let dists : (string, dist) Hashtbl.t = Hashtbl.create 16
+let phases : (string, phase_tot) Hashtbl.t = Hashtbl.create 16
+
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "MDD_STATS" with
+    | Some s when String.trim s <> "" -> true
+    | Some _ | None -> false)
+
+let enabled () = !enabled_flag
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+        let c = { c_name = name; c_cell = Atomic.make 0 } in
+        Hashtbl.add counters name c;
+        c)
+
+let incr c = ignore (Atomic.fetch_and_add c.c_cell 1)
+let add c n = ignore (Atomic.fetch_and_add c.c_cell n)
+let value c = Atomic.get c.c_cell
+
+let dist name =
+  locked (fun () ->
+      match Hashtbl.find_opt dists name with
+      | Some d -> d
+      | None ->
+        let d = { d_name = name; dv_count = 0; dv_sum = 0; dv_min = 0; dv_max = 0 } in
+        Hashtbl.add dists name d;
+        d)
+
+let record d v =
+  locked (fun () ->
+      if d.dv_count = 0 then begin
+        d.dv_min <- v;
+        d.dv_max <- v
+      end
+      else begin
+        if v < d.dv_min then d.dv_min <- v;
+        if v > d.dv_max then d.dv_max <- v
+      end;
+      d.dv_count <- d.dv_count + 1;
+      d.dv_sum <- d.dv_sum + v)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_cell 0) counters;
+      Hashtbl.iter
+        (fun _ d ->
+          d.dv_count <- 0;
+          d.dv_sum <- 0;
+          d.dv_min <- 0;
+          d.dv_max <- 0)
+        dists;
+      Hashtbl.reset phases)
+
+(* --- Phase timers --------------------------------------------------- *)
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+type span = { s_name : string; s_t0 : float; s_gc0 : int; mutable s_open : bool }
+
+let inert = { s_name = ""; s_t0 = 0.0; s_gc0 = 0; s_open = false }
+
+let span_begin name =
+  if not !enabled_flag then inert
+  else
+    {
+      s_name = name;
+      s_t0 = now_ns ();
+      s_gc0 = (Gc.quick_stat ()).Gc.major_collections;
+      s_open = true;
+    }
+
+let span_end s =
+  if s.s_open then begin
+    s.s_open <- false;
+    let ns = now_ns () -. s.s_t0 in
+    let gc = (Gc.quick_stat ()).Gc.major_collections - s.s_gc0 in
+    locked (fun () ->
+        let tot =
+          match Hashtbl.find_opt phases s.s_name with
+          | Some t -> t
+          | None ->
+            let t = { ph_count = 0; ph_ns = 0.0; ph_gc_major = 0 } in
+            Hashtbl.add phases s.s_name t;
+            t
+        in
+        tot.ph_count <- tot.ph_count + 1;
+        tot.ph_ns <- tot.ph_ns +. ns;
+        tot.ph_gc_major <- tot.ph_gc_major + gc)
+  end
+
+let phase name f =
+  let s = span_begin name in
+  Fun.protect ~finally:(fun () -> span_end s) f
+
+(* --- Snapshots ------------------------------------------------------ *)
+
+type phase_stat = {
+  p_name : string;
+  p_count : int;
+  p_total_ns : float;
+  p_gc_major : int;
+}
+
+type dist_stat = {
+  d_name : string;
+  d_count : int;
+  d_sum : int;
+  d_min : int;
+  d_max : int;
+}
+
+type snapshot = {
+  phases : phase_stat list;
+  counters : (string * int) list;
+  dists : dist_stat list;
+}
+
+let by_name name_of a b = compare (name_of a) (name_of b)
+
+let snapshot () =
+  locked (fun () ->
+      let phases =
+        Hashtbl.fold
+          (fun name t acc ->
+            {
+              p_name = name;
+              p_count = t.ph_count;
+              p_total_ns = t.ph_ns;
+              p_gc_major = t.ph_gc_major;
+            }
+            :: acc)
+          phases []
+        |> List.sort (by_name (fun p -> p.p_name))
+      in
+      let counters =
+        Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c_cell) :: acc) counters []
+        |> List.sort compare
+      in
+      let dists =
+        Hashtbl.fold
+          (fun name d acc ->
+            {
+              d_name = name;
+              d_count = d.dv_count;
+              d_sum = d.dv_sum;
+              d_min = d.dv_min;
+              d_max = d.dv_max;
+            }
+            :: acc)
+          dists []
+        |> List.sort (by_name (fun (d : dist_stat) -> d.d_name))
+      in
+      { phases; counters; dists })

@@ -12,7 +12,16 @@ type t = {
   bucket_len : int array;
   touched : int array; (* stack of nets whose delta may be non-zero *)
   mutable ntouched : int;
+  (* Plain mutable stats, always maintained: one add per frontier level
+     and per call, nothing per gate event, so the cost is noise even
+     with observability off.  [Explain.build] folds them into the global
+     [Obs] counters after its parallel region. *)
+  mutable n_propagates : int;
+  mutable n_screened : int;
+  mutable n_gate_events : int;
 }
+
+type stats = { propagates : int; screened : int; gate_events : int }
 
 let create ?reach net =
   let n = Netlist.num_nets net in
@@ -31,10 +40,33 @@ let create ?reach net =
     bucket_len = Array.make (depth + 1) 0;
     touched = Array.make (max 1 n) 0;
     ntouched = 0;
+    n_propagates = 0;
+    n_screened = 0;
+    n_gate_events = 0;
   }
 
 let netlist t = t.net
 let reach t = t.reach
+
+let stats t =
+  { propagates = t.n_propagates; screened = t.n_screened; gate_events = t.n_gate_events }
+
+let reset_stats t =
+  t.n_propagates <- 0;
+  t.n_screened <- 0;
+  t.n_gate_events <- 0
+
+let c_faults_simulated = Obs.counter "sim.faults_simulated"
+let c_faults_screened = Obs.counter "sim.faults_screened"
+let c_gate_events = Obs.counter "sim.gate_events"
+
+let publish_stats t =
+  if Obs.enabled () then begin
+    Obs.add c_faults_simulated t.n_propagates;
+    Obs.add c_faults_screened t.n_screened;
+    Obs.add c_gate_events t.n_gate_events
+  end;
+  reset_stats t
 
 (* Faulty-machine gate evaluation: operand [i] is
    [good.(src) lxor delta.(src)] for the gate's CSR fanin slice.  A
@@ -125,6 +157,7 @@ let[@inline] enqueue queued (levels : int array) bucket (bucket_len : int array)
    every net known to differ; fanout levels are strictly greater than a
    gate's own, so a frontier never grows while it is drained. *)
 let propagate t ~good ~site d0 =
+  t.n_propagates <- t.n_propagates + 1;
   let delta = t.delta in
   for i = 0 to t.ntouched - 1 do
     delta.(t.touched.(i)) <- 0
@@ -149,6 +182,7 @@ let propagate t ~good ~site d0 =
   for lvl = 0 to Array.length bucket - 1 do
     let frontier = bucket.(lvl) in
     let len = bucket_len.(lvl) in
+    t.n_gate_events <- t.n_gate_events + len;
     bucket_len.(lvl) <- 0;
     for i = 0 to len - 1 do
       let m = frontier.(i) in
@@ -172,9 +206,14 @@ let propagate t ~good ~site d0 =
 let iter_po_diffs_delta t ~good ~width ~site ~delta f =
   let mask = Logic.mask_of_width width in
   let d0 = delta land mask in
-  if d0 <> 0 then begin
+  let off = Po_reach.offsets t.reach in
+  (* Two screens, counted as such: a zero injected delta (the stuck
+     value equals the good value on every live pattern) and a site from
+     which no PO is reachable both make propagation pointless. *)
+  if d0 = 0 || off.(site + 1) = off.(site) then
+    t.n_screened <- t.n_screened + 1
+  else begin
     propagate t ~good ~site d0;
-    let off = Po_reach.offsets t.reach in
     let csr = Po_reach.reachable_csr t.reach in
     let d = t.delta in
     for i = off.(site) to off.(site + 1) - 1 do

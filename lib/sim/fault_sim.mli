@@ -25,6 +25,30 @@ val netlist : t -> Netlist.t
 val reach : t -> Po_reach.t
 (** The PO-reachability structure the simulator screens with. *)
 
+type stats = {
+  propagates : int;  (** Fault propagations actually run. *)
+  screened : int;
+      (** Injections screened away without simulating: zero delta on
+          every live pattern, or no PO reachable from the site. *)
+  gate_events : int;  (** Frontier entries drained across all levels. *)
+}
+
+val stats : t -> stats
+(** Since creation or the last {!reset_stats}.  Maintained
+    unconditionally (plain field adds at frontier granularity — cheap
+    enough to never gate); deterministic for a given workload, so
+    regression gates may compare them exactly.  Callers that publish
+    them into the global registry do so through [Obs] counters after
+    their batch. *)
+
+val reset_stats : t -> unit
+
+val publish_stats : t -> unit
+(** Fold this simulator's stats into the global [Obs] counters
+    ["sim.faults_simulated"], ["sim.faults_screened"] and
+    ["sim.gate_events"] (when observability is on), then reset them.
+    Owners call it once per batch, after their parallel region. *)
+
 val po_diffs :
   t ->
   good:Logic_sim.net_values ->

@@ -45,6 +45,24 @@ let resolve = function Some d -> clamp d | None -> default_domains ()
 
 let in_worker = Domain.DLS.new_key (fun () -> false)
 
+(* Observability: batch/spawn counts and the per-participant chunk
+   distribution (the balance signal — a skewed dist means one domain
+   dragged the batch).  All recording happens on the calling domain at
+   batch granularity, after the join; workers only bump a private slot
+   of a preallocated array. *)
+let c_batches = Obs.counter "parallel.batches"
+let c_spawns = Obs.counter "parallel.spawns"
+let c_serial_runs = Obs.counter "parallel.serial_runs"
+let d_chunks = Obs.dist "parallel.chunks_per_domain"
+
+(* An inline (single-domain) region still reports its chunk count, so
+   reports show the full picture at every domain count. *)
+let note_serial nchunks =
+  if Obs.enabled () then begin
+    Obs.incr c_serial_runs;
+    Obs.record d_chunks nchunks
+  end
+
 (* Effective parallelism of a call: capped by the work size, forced to 1
    inside a worker domain (nested calls run inline). *)
 let width domains n =
@@ -61,12 +79,17 @@ let run_chunks w chunks body =
   let nchunks = Array.length chunks in
   let cursor = Atomic.make 0 in
   let failure = Atomic.make None in
-  let drain () =
+  let nworkers = min (w - 1) (nchunks - 1) in
+  (* Slot 0 is the caller; each worker owns slot [i + 1].  Disjoint
+     writes, read only after the join. *)
+  let drained = Array.make (nworkers + 1) 0 in
+  let drain slot =
     let continue = ref true in
     while !continue do
       let i = Atomic.fetch_and_add cursor 1 in
       if i >= nchunks then continue := false
-      else
+      else begin
+        drained.(slot) <- drained.(slot) + 1;
         let lo, hi = chunks.(i) in
         match body i lo hi with
         | () -> ()
@@ -74,18 +97,22 @@ let run_chunks w chunks body =
           (* Keep the first failure; later chunks still run so every
              started write completes before the caller sees the raise. *)
           ignore (Atomic.compare_and_set failure None (Some e))
+      end
     done
   in
   let workers =
-    Array.init
-      (min (w - 1) (nchunks - 1))
-      (fun _ ->
+    Array.init nworkers (fun i ->
         Domain.spawn (fun () ->
             Domain.DLS.set in_worker true;
-            drain ()))
+            drain (i + 1)))
   in
-  drain ();
+  drain 0;
   Array.iter Domain.join workers;
+  if Obs.enabled () then begin
+    Obs.incr c_batches;
+    Obs.add c_spawns nworkers;
+    Array.iter (fun n -> Obs.record d_chunks n) drained
+  end;
   match Atomic.get failure with Some e -> raise e | None -> ()
 
 let chunk_bounds n k =
@@ -130,7 +157,10 @@ let chunk_bounds_weighted weights nchunks =
 let parallel_for ?domains n body =
   if n > 0 then begin
     let d = width domains n in
-    if d <= 1 then body 0 n
+    if d <= 1 then begin
+      note_serial 1;
+      body 0 n
+    end
     else run_chunks d (chunk_bounds n d) (fun _ lo hi -> body lo hi)
   end
 
@@ -147,12 +177,15 @@ let run_plan ?domains plan body =
   match Array.length plan with
   | 0 -> ()
   | 1 ->
+    note_serial 1;
     let lo, hi = plan.(0) in
     body 0 lo hi
   | nchunks ->
     let d = width domains nchunks in
-    if d <= 1 then
+    if d <= 1 then begin
+      note_serial nchunks;
       Array.iteri (fun i (lo, hi) -> body i lo hi) plan
+    end
     else run_chunks d plan body
 
 let parallel_for_weighted ?domains ?chunks_per_domain ~weights body =
@@ -165,7 +198,10 @@ let mapi_array ?domains f a =
   if n = 0 then [||]
   else begin
     let d = width domains n in
-    if d <= 1 then Array.mapi f a
+    if d <= 1 then begin
+      note_serial 1;
+      Array.mapi f a
+    end
     else begin
       let chunks = chunk_bounds n d in
       let parts = Array.make (Array.length chunks) [||] in
@@ -182,7 +218,10 @@ let map_reduce ?domains ~map ~reduce ~init a =
   if n = 0 then init
   else begin
     let d = width domains n in
-    if d <= 1 then Array.fold_left (fun acc x -> reduce acc (map x)) init a
+    if d <= 1 then begin
+      note_serial 1;
+      Array.fold_left (fun acc x -> reduce acc (map x)) init a
+    end
     else begin
       let chunks = chunk_bounds n d in
       let parts = Array.make (Array.length chunks) init in

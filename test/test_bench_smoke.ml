@@ -56,11 +56,26 @@ let test_json_well_formed () =
       "\"median_ns\"";
       "\"speedup_vs_1\"";
     ];
-  (* Balanced braces/brackets — a cheap well-formedness proxy that keeps
-     the hand-rolled serializer honest. *)
-  let count c = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 json in
-  Alcotest.(check int) "balanced braces" (count '{') (count '}');
-  Alcotest.(check int) "balanced brackets" (count '[') (count ']')
+  (* The full grammar check: the report must parse, and every sample
+     must embed the instrumented run report check_regress reads. *)
+  match Obs_json.parse json with
+  | Error msg -> Alcotest.failf "bench JSON unparsable: %s" msg
+  | Ok parsed ->
+    let samples =
+      match Option.bind (Obs_json.member "samples" parsed) Obs_json.list with
+      | Some l -> l
+      | None -> Alcotest.fail "bench JSON lacks a samples list"
+    in
+    Alcotest.(check int) "parsed sample count" 4 (List.length samples);
+    List.iter
+      (fun s ->
+        match Obs_json.member "stats" s with
+        | None -> Alcotest.fail "sample lacks embedded stats report"
+        | Some stats ->
+          Alcotest.(check bool)
+            "embedded stats carry counters" true
+            (Run_report.counters_of_json stats <> []))
+      samples
 
 let test_unknown_circuit () =
   Alcotest.check_raises "unknown circuit"
