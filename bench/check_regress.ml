@@ -4,7 +4,7 @@
    committed next to this file, so the gate and CI read one source of
    truth instead of inline literals.
 
-   Two independent gates run against the rnd1k problem of
+   Three independent gates run against the rnd1k problem of
    [Parbench.run] (fixed seed, so everything but wall time is
    deterministic):
 
@@ -21,7 +21,12 @@
       baseline after an intentional kernel change with:
         dune exec bench/check_regress.exe -- --write-baseline
 
-   2. Timing gate.  The fork-join property PR 2 bought: adding domains
+   2. Cache gate.  The cross-trial hit rate of the fault-signature
+      cache over one sequential campaign cell must stay above
+      [min_cache_hit_rate] — deterministic for the fixed seed, and the
+      first thing to collapse if the cache key or registry regresses.
+
+   3. Timing gate.  The fork-join property PR 2 bought: adding domains
       must not make [Explain.build] meaningfully slower than one domain
       even on a single-CPU host (the old parked-pool collapse measured
       0.47x at 4 domains).  The floor leaves headroom below the ~0.7-0.9x
@@ -35,6 +40,7 @@ let baseline_path = "baseline_stats.json"
 
 type thresholds = {
   min_speedup_at_4 : float;
+  min_cache_hit_rate : float;
   max_counter_growth : float;
   min_counter_ratio : float;
   gated_counters : string list;
@@ -58,6 +64,7 @@ let load_thresholds () =
   in
   {
     min_speedup_at_4 = fnum "min_speedup_at_4";
+    min_cache_hit_rate = fnum "min_cache_hit_rate";
     max_counter_growth = fnum "max_counter_growth";
     min_counter_ratio = fnum "min_counter_ratio";
     gated_counters;
@@ -122,7 +129,29 @@ let check_counters t current =
     t.gated_counters;
   if !failures > 0 then exit 1
 
+(* Cross-trial cache effectiveness: a sequential campaign cell re-runs
+   diagnosis on the same circuit and test set with fresh defects each
+   trial, so from trial 2 on the signature cache should answer most
+   probes.  A collapsed hit rate means the cache key, the registry or
+   the eviction budget broke — results stay correct, but the cross-phase
+   reuse the cache exists for is gone. *)
+let check_cache_hit_rate t =
+  let rate, hits, misses = Parbench.campaign_hit_rate () in
+  Printf.printf
+    "check_regress: cache hit rate %.3f (%d hits / %d misses, floor %.2f)\n%!" rate
+    hits misses t.min_cache_hit_rate;
+  if rate < t.min_cache_hit_rate then
+    die "check_regress: FAIL — campaign cache hit rate %.3f below floor %.2f" rate
+      t.min_cache_hit_rate
+
+(* The timing gate measures the fork-join kernel itself, so the cache is
+   held off for its duration: with a warm cache the timed runs replay
+   stored signatures sequentially and the domain count stops mattering. *)
 let check_timing t =
+  let was_cache = Sig_cache.enabled () in
+  Sig_cache.set_enabled false;
+  Sig_cache.clear ();
+  Fun.protect ~finally:(fun () -> Sig_cache.set_enabled was_cache) @@ fun () ->
   let report = Parbench.run ~circuit:"rnd1k" ~domain_counts:[ 1; 4 ] ~repeats:7 ~with_stats:false () in
   let sample d =
     match
@@ -168,4 +197,5 @@ let () =
       let t = load_thresholds () in
       let _report, current = capture_current () in
       check_counters t current;
+      check_cache_hit_rate t;
       check_timing t

@@ -50,6 +50,29 @@ let domains_arg =
    environment-derived default in place. *)
 let apply_domains = Option.iter Parallel.set_domains
 
+let no_prune_arg =
+  let doc =
+    "Disable the exactness-preserving candidate prunes (activation \
+     screen and equivalence-class collapse) in the explanation matrix; \
+     the MDD_NO_PRUNE environment variable does the same.  For A/B \
+     measurement — results are identical either way."
+  in
+  Arg.(value & flag & info [ "no-prune" ] ~doc)
+
+let no_cache_arg =
+  let doc =
+    "Disable the cross-phase fault-signature cache; the MDD_NO_CACHE \
+     environment variable does the same.  For A/B measurement — results \
+     are identical either way."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+(* Flags only disable: leaving one off keeps the environment-derived
+   default in place, mirroring [apply_domains]. *)
+let apply_prune_cache ~no_prune ~no_cache =
+  if no_prune then Explain.set_pruning false;
+  if no_cache then Sig_cache.set_enabled false
+
 (* Pattern source: an explicit file, or the in-repo ATPG flow. *)
 let patterns_arg =
   let doc = "Read test patterns from a file (one 0/1 line per pattern)." in

@@ -22,8 +22,10 @@ let no_validate_arg =
   let doc = "Disable multiplet validation/refinement (ablation)." in
   Arg.(value & flag & info [ "no-validate" ] ~doc)
 
-let run bench suite patterns_file datalog_file method_ no_validate domains stats =
+let run bench suite patterns_file datalog_file method_ no_validate no_prune no_cache
+    domains stats =
   Cli_common.apply_domains domains;
+  Cli_common.apply_prune_cache ~no_prune ~no_cache;
   let stats_dest = Cli_common.init_stats stats in
   let net = Cli_common.or_die (Cli_common.load_circuit bench suite) in
   let pats = Cli_common.or_die (Cli_common.load_patterns net patterns_file) in
@@ -65,6 +67,8 @@ let run bench suite patterns_file datalog_file method_ no_validate domains stats
         ("method", method_name);
         ("circuit", circuit);
         ("domains", string_of_int (Parallel.default_domains ()));
+        ("prune", if Explain.pruning () then "on" else "off");
+        ("cache", if Sig_cache.enabled () then "on" else "off");
       ]
 
 let cmd =
@@ -83,7 +87,7 @@ let cmd =
     (Cmd.info "diagnose" ~doc ~man)
     Term.(
       const run $ Cli_common.bench_arg $ Cli_common.suite_arg $ Cli_common.patterns_arg
-      $ datalog_arg $ method_arg $ no_validate_arg $ Cli_common.domains_arg
-      $ Cli_common.stats_arg)
+      $ datalog_arg $ method_arg $ no_validate_arg $ Cli_common.no_prune_arg
+      $ Cli_common.no_cache_arg $ Cli_common.domains_arg $ Cli_common.stats_arg)
 
 let () = exit (Cmd.eval cmd)

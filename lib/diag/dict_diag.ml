@@ -20,16 +20,28 @@ let build flavour net pats =
   let collapsed = Fault_list.collapse net in
   let sim = Fault_sim.create net in
   let npatterns = Pattern.count pats in
-  (* One good-machine pass shared by every dictionary entry. *)
+  (* Entry signatures share the cross-phase cache (keyed by class
+     representative, exactly the faults enumerated here); the uncached
+     path keeps the one shared good-machine pass. *)
+  let cache = if Sig_cache.enabled () then Some (Sig_cache.for_problem net pats) else None in
   let goods =
-    Array.of_list (List.map (Logic_sim.simulate_block net) (Pattern.blocks pats))
+    match cache with
+    | Some c -> Sig_cache.goods c
+    | None ->
+      Array.of_list (List.map (Logic_sim.simulate_block net) (Pattern.blocks pats))
   in
   let entries =
     List.map
       (fun fault ->
         let signature =
-          Fault_sim.signature sim ~goods pats ~site:fault.Fault_list.site
-            ~stuck:fault.Fault_list.stuck
+          match cache with
+          | Some c ->
+            Sig_cache.signature_of_triples c
+              (Sig_cache.lookup c sim ~site:fault.Fault_list.site
+                 ~stuck:fault.Fault_list.stuck)
+          | None ->
+            Fault_sim.signature sim ~goods pats ~site:fault.Fault_list.site
+              ~stuck:fault.Fault_list.stuck
         in
         let detect = Bitvec.create npatterns in
         Array.iter (fun po_bits -> Bitvec.union_into ~dst:detect po_bits) signature;

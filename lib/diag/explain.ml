@@ -1,20 +1,37 @@
-(* Counters published by [build]: candidate-pool size and the
-   fault-simulation work behind one matrix, folded in from the
-   per-chunk simulators after the parallel region (DESIGN.md §9). *)
+(* Counters published by [build]: candidate-pool sizes before and after
+   the exactness-preserving prunes, and the fault-simulation work behind
+   one matrix, folded in from the per-chunk simulators after the
+   parallel region (DESIGN.md §9, §10).  [explain.candidates] counts the
+   matrix rows actually owned by the simulation plan — the candidate
+   axis after the activation screen and class collapse. *)
 let c_builds = Obs.counter "explain.builds"
 let c_candidates = Obs.counter "explain.candidates"
 let c_observations = Obs.counter "explain.observations"
 let c_blocks = Obs.counter "explain.blocks"
 let c_pos_pruned = Obs.counter "po_reach.pos_pruned"
+let c_screened = Obs.counter "prune.screened_inactive"
+let c_class_merged = Obs.counter "prune.class_merged"
+
+(* Process-wide pruning switch, mirroring [Sig_cache.set_enabled]:
+   on unless MDD_NO_PRUNE is set; the --no-prune CLI flag and the
+   ?prune argument override per call. *)
+let prune_on =
+  Atomic.make
+    (match Sys.getenv_opt "MDD_NO_PRUNE" with None | Some "" -> true | Some _ -> false)
+
+let pruning () = Atomic.get prune_on
+let set_pruning b = Atomic.set prune_on b
 
 type t = {
   net : Netlist.t;
   dlog : Datalog.t;
   candidates : Fault_list.fault array;
+  num_seeded : int;
+  row_of : int array; (* candidate -> matrix row (class-shared) *)
   observations : Datalog.observation array;
   failing : int array;
-  covers : Bitvec.t array;
-  matched : int array array; (* candidate x failing-pattern *)
+  covers : Bitvec.t array; (* per row *)
+  matched : int array array; (* row x failing-pattern *)
   spurious : int array array;
   mispredict_pass : int array;
   nfail_pos : int array; (* failing-pattern -> #failing POs *)
@@ -23,15 +40,19 @@ type t = {
 let netlist t = t.net
 let datalog t = t.dlog
 let candidates t = t.candidates
+let num_seeded t = t.num_seeded
 let observations t = t.observations
 let failing t = t.failing
-let covers t c = t.covers.(c)
-let matched t c fp = t.matched.(c).(fp)
-let spurious t c fp = t.spurious.(c).(fp)
-let exact t c fp = t.matched.(c).(fp) = t.nfail_pos.(fp) && t.spurious.(c).(fp) = 0
+let covers t c = t.covers.(t.row_of.(c))
+let matched t c fp = t.matched.(t.row_of.(c)).(fp)
+let spurious t c fp = t.spurious.(t.row_of.(c)).(fp)
 
-let mispredict_fail t c = Array.fold_left ( + ) 0 t.spurious.(c)
-let mispredict_pass t c = t.mispredict_pass.(c)
+let exact t c fp =
+  let r = t.row_of.(c) in
+  t.matched.(r).(fp) = t.nfail_pos.(fp) && t.spurious.(r).(fp) = 0
+
+let mispredict_fail t c = Array.fold_left ( + ) 0 t.spurious.(t.row_of.(c))
+let mispredict_pass t c = t.mispredict_pass.(t.row_of.(c))
 
 (* Candidate seeds: both stuck polarities of every net in the union of
    the fan-in cones of the outputs that failed at least once.  Any single
@@ -39,29 +60,70 @@ let mispredict_pass t c = t.mispredict_pass.(c)
    union, so — unlike value-based critical path tracing, which can drop
    the true origin at reconvergent stems — the seed pool is structurally
    complete.  Simulation then prunes it: a candidate that covers no
-   observation is never selected. *)
+   observation is never selected.
+
+   One reverse BFS over the fan-in CSR, seeded with every failing PO at
+   once, marks the union directly — the old per-output
+   [Netlist.fanin_cone] calls each allocated and swept a full bool
+   array, O(failing POs x nets) on wide datalogs. *)
 let seed_candidates net dlog =
-  let in_pool = Array.make (Netlist.num_nets net) false in
-  let failing_pos = Hashtbl.create 16 in
+  let nnets = Netlist.num_nets net in
+  let in_pool = Array.make nnets false in
+  let stack = ref [] in
+  let pos = Netlist.pos net in
   Array.iter
-    (fun (ob : Datalog.observation) -> Hashtbl.replace failing_pos ob.po ())
+    (fun (ob : Datalog.observation) ->
+      let n = pos.(ob.po) in
+      if not in_pool.(n) then begin
+        in_pool.(n) <- true;
+        stack := n :: !stack
+      end)
     (Datalog.observations dlog);
-  Hashtbl.iter
-    (fun oi () ->
-      let cone = Netlist.fanin_cone net (Netlist.pos net).(oi) in
-      Array.iteri (fun n b -> if b then in_pool.(n) <- true) cone)
-    failing_pos;
+  let fanin = Netlist.fanin_csr net in
+  let off = Netlist.fanin_offsets net in
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | n :: rest ->
+      stack := rest;
+      for i = off.(n) to off.(n + 1) - 1 do
+        let a = fanin.(i) in
+        if not in_pool.(a) then begin
+          in_pool.(a) <- true;
+          stack := a :: !stack
+        end
+      done;
+      drain ()
+  in
+  drain ();
   let l = ref [] in
-  for n = Netlist.num_nets net - 1 downto 0 do
+  for n = nnets - 1 downto 0 do
     if in_pool.(n) then
       l := { Fault_list.site = n; stuck = false } :: { site = n; stuck = true } :: !l
   done;
   Array.of_list !l
 
-let build ?domains net pats dlog =
+(* Grow-by-doubling int buffer for recording signature triples inside
+   the parallel region.  Recording allocates (unlike the matrix-filling
+   path), but only on cache misses, amortised by doubling — the price of
+   making the simulated block reusable by every later phase. *)
+type tbuf = { mutable buf : int array; mutable len : int }
+
+let tbuf_push b v =
+  if b.len = Array.length b.buf then begin
+    let bigger = Array.make (2 * max 64 b.len) 0 in
+    Array.blit b.buf 0 bigger 0 b.len;
+    b.buf <- bigger
+  end;
+  b.buf.(b.len) <- v;
+  b.len <- b.len + 1
+
+let build ?domains ?prune ?cache net pats dlog =
   Obs.phase "explain-build" @@ fun () ->
-  let candidates = seed_candidates net dlog in
-  let ncand = Array.length candidates in
+  let prune = match prune with Some p -> p | None -> pruning () in
+  let use_cache = match cache with Some c -> c | None -> Sig_cache.enabled () in
+  let seeded = seed_candidates net dlog in
+  let num_seeded = Array.length seeded in
   let observations = Datalog.observations dlog in
   let nobs = Array.length observations in
   let failing = Array.of_list (Datalog.failing_patterns dlog) in
@@ -77,16 +139,18 @@ let build ?domains net pats dlog =
       obs_of.((fp_of_pattern.(ob.pattern) * npos) + ob.po) <- i)
     observations;
   let nfail_pos = Array.map (fun p -> List.length (Datalog.failing_pos dlog p)) failing in
-  let covers = Array.init ncand (fun _ -> Bitvec.create nobs) in
-  let matched = Array.make_matrix ncand nfp 0 in
-  let spurious = Array.make_matrix ncand nfp 0 in
-  let mispredict_pass = Array.make ncand 0 in
   (* Good-machine words and per-pattern failing flags of every block,
      computed once and shared read-only by all workers; likewise the
-     PO-reachability screen. *)
+     PO-reachability screen.  With the cache on, the goods come from the
+     shared per-problem instance instead of a private resimulation. *)
   let blocks = Array.of_list (Pattern.blocks pats) in
   let nblocks = Array.length blocks in
-  let goods = Array.map (fun b -> Logic_sim.simulate_block net b) blocks in
+  let scache = if use_cache then Some (Sig_cache.for_problem net pats) else None in
+  let goods =
+    match scache with
+    | Some sc -> Sig_cache.goods sc
+    | None -> Array.map (fun b -> Logic_sim.simulate_block net b) blocks
+  in
   let fail_masks =
     Array.map
       (fun (block : Pattern.block) ->
@@ -97,39 +161,162 @@ let build ?domains net pats dlog =
         !m)
       blocks
   in
+  (* Activation screen (exactness-preserving, DESIGN.md §10): a stuck-at
+     fault only injects an error on patterns where the good value
+     differs from the stuck value.  A candidate inactive on every
+     failing pattern flips no PO there, so it covers nothing, is exact
+     nowhere, and can never enter a cover — drop it before simulating.
+     (It may still be active on passing patterns, but its misprediction
+     record is only ever read for moves with positive cover gain.) *)
+  let candidates, screened =
+    if not prune || num_seeded = 0 then (seeded, 0)
+    else begin
+      let keep = Array.make num_seeded false in
+      let kept = ref 0 in
+      for i = 0 to num_seeded - 1 do
+        let f = seeded.(i) in
+        let stuck_word = if f.Fault_list.stuck then -1 else 0 in
+        let active = ref false in
+        let bi = ref 0 in
+        while (not !active) && !bi < nblocks do
+          if (goods.(!bi).(f.Fault_list.site) lxor stuck_word) land fail_masks.(!bi) <> 0
+          then active := true;
+          incr bi
+        done;
+        if !active then begin
+          keep.(i) <- true;
+          incr kept
+        end
+      done;
+      if !kept = num_seeded then (seeded, 0)
+      else begin
+        let out = Array.make !kept seeded.(0) in
+        let j = ref 0 in
+        for i = 0 to num_seeded - 1 do
+          if keep.(i) then begin
+            out.(!j) <- seeded.(i);
+            incr j
+          end
+        done;
+        (out, num_seeded - !kept)
+      end
+    end
+  in
+  let ncand = Array.length candidates in
+  (* Equivalence-class rows (DESIGN.md §10): structurally equivalent
+     faults produce identical PO diffs on every pattern, so one matrix
+     row serves the whole class.  Candidates stay individually listed —
+     selection, pairing and reporting see the full pool — but their
+     accessors indirect through [row_of], and only one member per class
+     is simulated.  Rows are keyed by the class representative so the
+     signature cache shares entries with the baselines, which iterate
+     representatives. *)
+  let row_of = Array.make (max 1 ncand) 0 in
+  let nrows, row_member, row_key =
+    if not prune then begin
+      let keys = Array.make (max 1 ncand) 0 in
+      for c = 0 to ncand - 1 do
+        row_of.(c) <- c;
+        keys.(c) <-
+          Sig_cache.key ~site:candidates.(c).Fault_list.site
+            ~stuck:candidates.(c).Fault_list.stuck
+      done;
+      (ncand, Array.init ncand Fun.id, keys)
+    end
+    else begin
+      let collapsed = Fault_list.collapse net in
+      let row_of_key = Hashtbl.create (2 * ncand) in
+      let members = ref [] and keys = ref [] in
+      let n = ref 0 in
+      for c = 0 to ncand - 1 do
+        let rep = Fault_list.representative_of collapsed candidates.(c) in
+        let rk = Sig_cache.key ~site:rep.Fault_list.site ~stuck:rep.Fault_list.stuck in
+        match Hashtbl.find_opt row_of_key rk with
+        | Some r -> row_of.(c) <- r
+        | None ->
+          Hashtbl.add row_of_key rk !n;
+          row_of.(c) <- !n;
+          members := c :: !members;
+          keys := rk :: !keys;
+          incr n
+      done;
+      (!n, Array.of_list (List.rev !members), Array.of_list (List.rev !keys))
+    end
+  in
+  let covers = Array.init nrows (fun _ -> Bitvec.create nobs) in
+  let matched = Array.make_matrix nrows nfp 0 in
+  let spurious = Array.make_matrix nrows nfp 0 in
+  let mispredict_pass = Array.make (max 1 nrows) 0 in
+  (* Cache probe, sequential on the calling domain (deterministic hit
+     pattern and eviction order within one build).  Rows found warm are
+     replayed after the parallel region; only the misses simulate. *)
+  let hit = Array.make (max 1 nrows) None in
+  let miss = ref [] in
+  let nmiss = ref 0 in
+  (match scache with
+  | None ->
+    for r = nrows - 1 downto 0 do
+      miss := r :: !miss;
+      incr nmiss
+    done
+  | Some sc ->
+    for r = nrows - 1 downto 0 do
+      match Sig_cache.find sc row_key.(r) with
+      | Some triples -> hit.(r) <- Some triples
+      | None ->
+        miss := r :: !miss;
+        incr nmiss
+    done);
+  let miss = Array.of_list !miss in
   let reach = Po_reach.compute net in
-  (* Cost-weighted chunking: a candidate's simulation cost scales with
-     its fanout cone, proxied by reachable-PO count times remaining
-     depth.  Uniform index ranges pack all the cheap near-output seeds
-     into the last chunk and stall the other domains. *)
+  (* Cost-weighted chunking over the *miss* rows: a row's simulation
+     cost scales with its fanout cone, proxied by reachable-PO count
+     times remaining depth.  Uniform index ranges pack all the cheap
+     near-output seeds into the last chunk and stall the other domains;
+     and when the cache leaves only a light residue, the minimum chunk
+     weight collapses the plan so a handful of misses never pays domain
+     spawns. *)
   let depth = Netlist.depth net in
   let levels = Netlist.level_array net in
-  let weights =
-    Array.map
-      (fun (f : Fault_list.fault) ->
-        (1 + Po_reach.num_reachable reach f.site) * (1 + depth - levels.(f.site)))
-      candidates
+  let weight_of r =
+    let f = candidates.(row_member.(r)) in
+    (1 + Po_reach.num_reachable reach f.Fault_list.site) * (1 + depth - levels.(f.Fault_list.site))
+  in
+  let weights = Array.map weight_of miss in
+  let min_chunk_weight =
+    if !nmiss = 0 then 0
+    else 16 * (Array.fold_left ( + ) 0 weights / !nmiss)
   in
   (* Candidate-partitioned fault simulation: each chunk owns a private
-     [Fault_sim.t] scratch and writes only its own candidates' rows of
-     the accumulators, so domains share nothing mutable and the result
-     is bit-identical for every domain count.  All scratch is allocated
-     on the calling domain *before* the parallel region, and per-event
-     state lives in the refs below so each chunk allocates nothing but
-     its two callback closures: a region that never allocates never
-     triggers a stop-the-world collection mid-batch, which is what made
-     added domains slower than one on machines with fewer cores than
-     domains. *)
-  let plan = Parallel.weighted_chunks ?domains ~weights () in
+     [Fault_sim.t] scratch and writes only its own rows of the
+     accumulators, so domains share nothing mutable and the result is
+     bit-identical for every domain count.  All scratch is allocated on
+     the calling domain *before* the parallel region; with the cache
+     off the region never allocates (per-event state lives in the refs
+     below), and with it on the only allocation is the amortised triple
+     buffer growth on this chunk's own misses. *)
+  let plan = Parallel.weighted_chunks ?domains ~min_chunk_weight ~weights () in
   let sims = Array.map (fun _ -> Fault_sim.create ~reach net) plan in
+  let tbufs =
+    match scache with
+    | None -> [||]
+    | Some _ -> Array.map (fun _ -> { buf = Array.make 4096 0; len = 0 }) plan
+  in
+  (* Per-miss triple extents into the owning chunk's buffer; disjoint
+     writes keyed on the miss index. *)
+  let row_start = Array.make (max 1 !nmiss) 0 in
+  let row_len = Array.make (max 1 !nmiss) 0 in
+  let record = scache <> None in
   Parallel.run_plan ?domains plan (fun ci lo hi ->
       let sim = sims.(ci) in
+      let tbuf = if record then tbufs.(ci) else { buf = [||]; len = 0 } in
       let cur_base = ref 0 in
+      let cur_bi = ref 0 in
       let cur_oi = ref 0 in
       let any = ref 0 in
-      let cur_covers = ref covers.(lo) in
-      let cur_matched = ref matched.(lo) in
-      let cur_spurious = ref spurious.(lo) in
+      let cur_covers = ref covers.(miss.(lo)) in
+      let cur_matched = ref matched.(miss.(lo)) in
+      let cur_spurious = ref spurious.(miss.(lo)) in
       let on_bit k =
         let fp = fp_of_pattern.(!cur_base + k) in
         if fp >= 0 then
@@ -142,16 +329,24 @@ let build ?domains net pats dlog =
       let on_po oi d =
         any := !any lor d;
         cur_oi := oi;
+        if record then begin
+          tbuf_push tbuf !cur_bi;
+          tbuf_push tbuf oi;
+          tbuf_push tbuf d
+        end;
         Logic.iter_bits d on_bit
       in
-      for c = lo to hi - 1 do
-        let f = candidates.(c) in
-        cur_covers := covers.(c);
-        cur_matched := matched.(c);
-        cur_spurious := spurious.(c);
+      for mi = lo to hi - 1 do
+        let r = miss.(mi) in
+        let f = candidates.(row_member.(r)) in
+        cur_covers := covers.(r);
+        cur_matched := matched.(r);
+        cur_spurious := spurious.(r);
+        row_start.(mi) <- tbuf.len;
         for bi = 0 to nblocks - 1 do
           let block = blocks.(bi) in
           cur_base := block.base;
+          cur_bi := bi;
           any := 0;
           Fault_sim.iter_po_diffs sim ~good:goods.(bi) ~width:block.width
             ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck on_po;
@@ -159,29 +354,87 @@ let build ?domains net pats dlog =
           let pass_pred =
             !any land lnot fail_masks.(bi) land Logic.mask_of_width block.width
           in
-          mispredict_pass.(c) <- mispredict_pass.(c) + Logic.popcount pass_pred
-        done
+          mispredict_pass.(r) <- mispredict_pass.(r) + Logic.popcount pass_pred
+        done;
+        row_len.(mi) <- tbuf.len - row_start.(mi)
       done);
+  (* Store the fresh signatures (sequential: one deterministic insertion
+     order per build), then replay the warm rows into the matrices. *)
+  (match scache with
+  | None -> ()
+  | Some sc ->
+    Array.iteri
+      (fun ci (lo, hi) ->
+        let tbuf = tbufs.(ci) in
+        for mi = lo to hi - 1 do
+          Sig_cache.store sc row_key.(miss.(mi))
+            (Array.sub tbuf.buf row_start.(mi) row_len.(mi))
+        done)
+      plan;
+    for r = 0 to nrows - 1 do
+      match hit.(r) with
+      | None -> ()
+      | Some triples ->
+        let rm = matched.(r) and rs = spurious.(r) and rc = covers.(r) in
+        let i = ref 0 in
+        let n = Array.length triples in
+        let prev_bi = ref (-1) in
+        let any = ref 0 in
+        let flush () =
+          if !prev_bi >= 0 then begin
+            let block = blocks.(!prev_bi) in
+            let pass_pred =
+              !any land lnot fail_masks.(!prev_bi) land Logic.mask_of_width block.width
+            in
+            mispredict_pass.(r) <- mispredict_pass.(r) + Logic.popcount pass_pred
+          end;
+          any := 0
+        in
+        while !i < n do
+          let bi = triples.(!i) and oi = triples.(!i + 1) and d = triples.(!i + 2) in
+          if bi <> !prev_bi then begin
+            flush ();
+            prev_bi := bi
+          end;
+          any := !any lor d;
+          let base = blocks.(bi).Pattern.base in
+          Logic.iter_bits d (fun k ->
+              let fp = fp_of_pattern.(base + k) in
+              if fp >= 0 then
+                if obs_of.((fp * npos) + oi) >= 0 then begin
+                  Bitvec.set rc obs_of.((fp * npos) + oi) true;
+                  rm.(fp) <- rm.(fp) + 1
+                end
+                else rs.(fp) <- rs.(fp) + 1);
+          i := !i + 3
+        done;
+        flush ()
+    done);
   if Obs.enabled () then begin
     Obs.incr c_builds;
-    Obs.add c_candidates ncand;
+    Obs.add c_candidates nrows;
     Obs.add c_observations nobs;
     Obs.add c_blocks nblocks;
+    Obs.add c_screened screened;
+    Obs.add c_class_merged (ncand - nrows);
     Array.iter Fault_sim.publish_stats sims;
-    (* PO scans the reachability screen saved: every candidate-block
-       simulation visits only the site's reachable POs instead of all
-       of them. *)
+    (* PO scans the reachability screen saved: every simulated row-block
+       pass visits only the site's reachable POs instead of all of
+       them. *)
     let pruned = ref 0 in
     Array.iter
-      (fun (f : Fault_list.fault) ->
-        pruned := !pruned + (npos - Po_reach.num_reachable reach f.site))
-      candidates;
+      (fun r ->
+        let f = candidates.(row_member.(r)) in
+        pruned := !pruned + (npos - Po_reach.num_reachable reach f.Fault_list.site))
+      miss;
     Obs.add c_pos_pruned (!pruned * nblocks)
   end;
   {
     net;
     dlog;
     candidates;
+    num_seeded;
+    row_of;
     observations;
     failing;
     covers;

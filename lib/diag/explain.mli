@@ -18,17 +18,46 @@
 
 type t
 
-val build : ?domains:int -> Netlist.t -> Pattern.t -> Datalog.t -> t
-(** One pass of seeding + simulation.  Cost: O(|candidates| x |blocks|)
-    event-driven fault simulations, partitioned by candidate range over
-    [domains] OCaml domains ({!Parallel}'s default when omitted).  The
-    matrix is bit-identical for every domain count. *)
+val build : ?domains:int -> ?prune:bool -> ?cache:bool -> Netlist.t -> Pattern.t -> Datalog.t -> t
+(** One pass of seeding + pruning + simulation, partitioned by candidate
+    range over [domains] OCaml domains ({!Parallel}'s default when
+    omitted).  The matrix is bit-identical for every domain count.
+
+    With [prune] (default {!pruning}) two exactness-preserving prunes
+    shrink the simulated pool before any fault simulation runs: the
+    {e activation screen} drops candidates whose stuck value equals the
+    good value on every failing pattern (they flip no PO on any failing
+    pattern, so they cover nothing and are never selectable), and
+    {e equivalence-class collapse} ({!Fault_list.collapse}) simulates
+    one representative per structural class and shares its matrix row
+    with every member.  Screened candidates leave {!candidates};
+    class members remain individually listed and indirect to the shared
+    row.  Neither prune can change a diagnosis (DESIGN.md §10).
+
+    With [cache] (default [Sig_cache.enabled]) per-row signatures are
+    probed in, and on miss recorded into, the cross-phase
+    [Sig_cache] — warm rows replay without simulation, and only the
+    misses enter the fork-join plan. *)
+
+val pruning : unit -> bool
+val set_pruning : bool -> unit
+(** Process-wide default for [?prune]; initialised to on unless the
+    [MDD_NO_PRUNE] environment variable is a non-empty value.  The
+    [--no-prune] CLI flag calls [set_pruning false]. *)
 
 val netlist : t -> Netlist.t
 val datalog : t -> Datalog.t
 
 val candidates : t -> Fault_list.fault array
-(** The validated seed pool (deduplicated, ascending). *)
+(** The validated pool (deduplicated, ascending): the seeds that
+    survived the activation screen.  Per-candidate accessors below
+    accept indices into this array; class-equivalent candidates answer
+    from one shared matrix row. *)
+
+val num_seeded : t -> int
+(** Size of the seed pool {e before} the activation screen — the
+    "candidates considered" figure reports quote, identical with
+    pruning on or off. *)
 
 val observations : t -> Datalog.observation array
 (** All failing observations, the rows to be covered. *)

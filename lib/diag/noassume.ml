@@ -269,9 +269,10 @@ type good_cache = {
 let build_good_cache net pats failing =
   let fp_of_pattern = Hashtbl.create (Array.length failing) in
   Array.iteri (fun i p -> Hashtbl.add fp_of_pattern p i) failing;
-  let blocks =
-    List.map (fun b -> (b, Logic_sim.simulate_block net b)) (Pattern.blocks pats)
-  in
+  (* Good words come from the shared per-problem cache when it is on —
+     the explanation matrix already computed them. *)
+  let goods = Sig_cache.goods_for net pats in
+  let blocks = List.mapi (fun i b -> (b, goods.(i))) (Pattern.blocks pats) in
   let by_fp = Array.make (Array.length failing) (0, [||]) in
   List.iter
     (fun (block, words) ->
@@ -507,7 +508,7 @@ let diagnose_matrix ?(config = default_config) m pats =
     multiplet;
     callouts;
     score;
-    candidates_considered = Array.length cand;
+    candidates_considered = Explain.num_seeded m;
     refinement_steps = steps;
   }
 

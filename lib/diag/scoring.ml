@@ -41,8 +41,7 @@ let add a b =
    map-reduce over blocks (score addition is associative and [zero] its
    identity, making the reduction order — and the domain count —
    irrelevant to the result). *)
-let score_block net dlog overlay (block : Pattern.block) =
-  let good = Logic_sim.simulate_block net block in
+let score_block net dlog overlay good (block : Pattern.block) =
   let faulty = Logic_sim.simulate_block_overlay net block overlay in
   let mask = Logic.mask_of_width block.width in
   let pos = Netlist.pos net in
@@ -93,10 +92,15 @@ let evaluate ?domains net pats dlog overlay =
     Obs.incr c_evaluations;
     Obs.add c_blocks_scored (Array.length blocks)
   end;
+  (* The refinement loop re-evaluates hundreds of multiplets against one
+     test set; the good half of each block comes from the shared
+     per-problem cache so only the overlay side is resimulated. *)
+  let goods = Sig_cache.goods_for net pats in
   let domains = if Array.length blocks < parallel_grain_blocks then Some 1 else domains in
   Parallel.map_reduce ?domains
-    ~map:(score_block net dlog overlay)
-    ~reduce:add ~init:zero blocks
+    ~map:(fun i -> score_block net dlog overlay goods.(i) blocks.(i))
+    ~reduce:add ~init:zero
+    (Array.init (Array.length blocks) Fun.id)
 
 let overlay_of_multiplet faults =
   let sites = List.sort_uniq compare (List.map (fun f -> f.Fault_list.site) faults) in

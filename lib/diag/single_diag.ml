@@ -35,20 +35,30 @@ let diagnose ?(keep = 20) net pats dlog =
   let collapsed = Fault_list.collapse net in
   let faults = Fault_list.representatives collapsed in
   let sim = Fault_sim.create net in
-  (* Good-machine words computed once for the whole ranking pass instead
-     of once per fault inside [signature]. *)
+  (* Signatures come from the cross-phase cache when it is on — the
+     explanation matrix (and every earlier campaign trial on this
+     circuit) already simulated most representatives, and this ranking
+     pass warms the rest for later trials.  The cache also supplies the
+     shared good-machine words; the uncached path computes them once for
+     the whole ranking pass instead of once per fault. *)
+  let cache = if Sig_cache.enabled () then Some (Sig_cache.for_problem net pats) else None in
   let goods =
-    Array.of_list (List.map (Logic_sim.simulate_block net) (Pattern.blocks pats))
+    match cache with
+    | Some c -> Sig_cache.goods c
+    | None ->
+      Array.of_list (List.map (Logic_sim.simulate_block net) (Pattern.blocks pats))
+  in
+  let signature_of f =
+    match cache with
+    | Some c ->
+      Sig_cache.signature_of_triples c
+        (Sig_cache.lookup c sim ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck)
+    | None ->
+      Fault_sim.signature sim ~goods pats ~site:f.Fault_list.site
+        ~stuck:f.Fault_list.stuck
   in
   let scored =
-    List.map
-      (fun f ->
-        let signature =
-          Fault_sim.signature sim ~goods pats ~site:f.Fault_list.site
-            ~stuck:f.Fault_list.stuck
-        in
-        { fault = f; score = score_signature dlog signature })
-      faults
+    List.map (fun f -> { fault = f; score = score_signature dlog (signature_of f) }) faults
   in
   let sorted =
     List.sort

@@ -123,6 +123,38 @@ let run ?(circuit = "rnd1k") ?(domain_counts = [ 1; 2; 4; 8 ]) ?(repeats = 5)
   in
   { circuit; repeats; samples }
 
+(* Cross-trial cache effectiveness of one campaign cell, measured from a
+   cold cache with sequential trials, so the hit/miss split is
+   deterministic (parallel trials can race on a cold key and double a
+   miss).  All trials share the circuit and test set and differ only in
+   the datalog — exactly the reuse the signature cache exists for. *)
+let campaign_hit_rate ?(circuit = "rnd1k") ?(trials = 4) ?(multiplicity = 3) ?(seed = 99)
+    () =
+  let net =
+    match Generators.find_suite circuit with
+    | Some n -> n
+    | None -> invalid_arg ("Parbench: unknown suite circuit " ^ circuit)
+  in
+  let was_cache = Sig_cache.enabled () in
+  let was_obs = Obs.enabled () in
+  Sig_cache.set_enabled true;
+  Sig_cache.clear ();
+  Obs.reset ();
+  Obs.enable ();
+  ignore
+    (Campaign.run ~methods:Campaign.all_methods ~domains:1 ~name:circuit net
+       ~multiplicity ~trials ~seed);
+  let snap = Obs.snapshot () in
+  let counter name = Option.value ~default:0 (List.assoc_opt name snap.Obs.counters) in
+  let hits = counter "cache.hits" and misses = counter "cache.misses" in
+  if not was_obs then Obs.disable ();
+  Obs.reset ();
+  Sig_cache.set_enabled was_cache;
+  let rate =
+    if hits + misses = 0 then 0.0 else float_of_int hits /. float_of_int (hits + misses)
+  in
+  (rate, hits, misses)
+
 let to_table r =
   let table =
     Table.create

@@ -34,6 +34,22 @@ val run :
     [Obs] registry.  Raises [Invalid_argument] on an unknown suite
     circuit name. *)
 
+val campaign_hit_rate :
+  ?circuit:string ->
+  ?trials:int ->
+  ?multiplicity:int ->
+  ?seed:int ->
+  unit ->
+  float * int * int
+(** [(rate, hits, misses)] of the fault-signature cache across one
+    campaign cell run sequentially ([domains:1]) from a cold cache —
+    trials share the circuit and test set, so later trials hit what
+    earlier trials simulated.  Deterministic for a fixed seed (parallel
+    trials could race on a cold key and count an extra miss); used by the
+    bench regression gate.  Temporarily enables the cache and the [Obs]
+    registry and resets both before returning.  Defaults: [rnd1k],
+    4 trials, multiplicity 3, seed 99. *)
+
 val to_table : report -> Table.t
 
 val json_of_report : report -> string

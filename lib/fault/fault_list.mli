@@ -6,7 +6,15 @@
     fanout, any input stuck-at-0 is equivalent to the output stuck-at-0;
     an inverter chain shifts polarity.  Representatives make fault lists
     (and the single-fault baseline's candidate space) 2–3x smaller
-    without losing behaviour. *)
+    without losing behaviour.
+
+    Every fold is behaviorally exact — class members produce the same
+    PO response on every pattern — which is what lets the diagnosis
+    layer simulate one matrix row per class ({!Explain.build}'s
+    equivalence-class prune) and key the cross-phase signature cache
+    ([Sig_cache]) by {!representative_of}, sharing entries between the
+    explanation matrix and the single-fault/dictionary baselines
+    (soundness argument in DESIGN.md §10). *)
 
 type fault = { site : Netlist.net; stuck : bool }
 

@@ -1,0 +1,183 @@
+(* Sharded, bounded-memory memo of per-fault PO-diff triples, shared by
+   every diagnosis phase that fault-simulates against one (netlist,
+   pattern set) problem.  See the interface for the concurrency and
+   determinism contract. *)
+
+let c_hits = Obs.counter "cache.hits"
+let c_misses = Obs.counter "cache.misses"
+let c_evictions = Obs.counter "cache.evictions"
+
+let on =
+  Atomic.make
+    (match Sys.getenv_opt "MDD_NO_CACHE" with None | Some "" -> true | Some _ -> false)
+
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
+
+(* Word budget across all shards of one instance.  Entries are int
+   arrays, so the budget is an honest (if approximate) bound on the
+   cache's major-heap footprint. *)
+let budget_words =
+  let mb =
+    match Option.bind (Sys.getenv_opt "MDD_SIG_CACHE_MB") int_of_string_opt with
+    | Some mb when mb >= 1 -> mb
+    | Some _ | None -> 64
+  in
+  mb * 1024 * 1024 / 8
+
+let nshards = 16
+
+(* Per-entry accounting overhead: hashtable bucket + queue cell + header
+   words, rounded generously so many tiny entries cannot blow past the
+   budget through bookkeeping alone. *)
+let entry_overhead = 16
+
+type shard = {
+  lock : Mutex.t;
+  tbl : (int, int array) Hashtbl.t;
+  order : int Queue.t; (* insertion order; each live key appears once *)
+  mutable words : int;
+}
+
+type t = {
+  net : Netlist.t;
+  pats : Pattern.t;
+  blocks : Pattern.block array;
+  goods : Logic_sim.net_values array;
+  shards : shard array;
+}
+
+let goods t = t.goods
+let blocks t = t.blocks
+let key ~site ~stuck = (2 * site) + Bool.to_int stuck
+let shard_of t k = t.shards.(k mod nshards)
+let cost triples = Array.length triples + entry_overhead
+
+let find t k =
+  if not (enabled ()) then None
+  else begin
+    let s = shard_of t k in
+    Mutex.lock s.lock;
+    let r = Hashtbl.find_opt s.tbl k in
+    Mutex.unlock s.lock;
+    if Obs.enabled () then Obs.incr (match r with Some _ -> c_hits | None -> c_misses);
+    r
+  end
+
+let store t k triples =
+  if enabled () then begin
+    let s = shard_of t k in
+    let budget = budget_words / nshards in
+    Mutex.lock s.lock;
+    (match Hashtbl.find_opt s.tbl k with
+    | Some old ->
+      (* Overwrite (same value recomputed by a racing domain): keep the
+         key's queue position, swap the payload accounting. *)
+      s.words <- s.words - cost old + cost triples;
+      Hashtbl.replace s.tbl k triples
+    | None ->
+      Hashtbl.replace s.tbl k triples;
+      Queue.push k s.order;
+      s.words <- s.words + cost triples);
+    let evicted = ref 0 in
+    while s.words > budget && not (Queue.is_empty s.order) do
+      let victim = Queue.pop s.order in
+      match Hashtbl.find_opt s.tbl victim with
+      | None -> ()
+      | Some v ->
+        Hashtbl.remove s.tbl victim;
+        s.words <- s.words - cost v;
+        incr evicted
+    done;
+    Mutex.unlock s.lock;
+    if !evicted > 0 && Obs.enabled () then Obs.add c_evictions !evicted
+  end
+
+(* Triples of one fault over the whole set, in the canonical order
+   (blocks ascending, POs ascending within a block). *)
+let compute t sim ~site ~stuck =
+  let buf = ref (Array.make 96 0) in
+  let len = ref 0 in
+  let push v =
+    if !len = Array.length !buf then begin
+      let bigger = Array.make (2 * !len) 0 in
+      Array.blit !buf 0 bigger 0 !len;
+      buf := bigger
+    end;
+    !buf.(!len) <- v;
+    incr len
+  in
+  Array.iteri
+    (fun bi (block : Pattern.block) ->
+      Fault_sim.iter_po_diffs sim ~good:t.goods.(bi) ~width:block.width ~site ~stuck
+        (fun oi d ->
+          push bi;
+          push oi;
+          push d))
+    t.blocks;
+  Array.sub !buf 0 !len
+
+let lookup t sim ~site ~stuck =
+  let k = key ~site ~stuck in
+  match find t k with
+  | Some triples -> triples
+  | None ->
+    let triples = compute t sim ~site ~stuck in
+    store t k triples;
+    triples
+
+let signature_of_triples t triples =
+  let npos = Netlist.num_pos t.net in
+  let npatterns = Pattern.count t.pats in
+  let signature = Array.init npos (fun _ -> Bitvec.create npatterns) in
+  let i = ref 0 in
+  while !i < Array.length triples do
+    let bi = triples.(!i) and oi = triples.(!i + 1) and d = triples.(!i + 2) in
+    let base = t.blocks.(bi).Pattern.base in
+    Logic.iter_bits d (fun bit -> Bitvec.set signature.(oi) (base + bit) true);
+    i := !i + 3
+  done;
+  signature
+
+(* --- Instance registry ---------------------------------------------- *)
+
+let registry_lock = Mutex.create ()
+let registry : t list ref = ref []
+let max_instances = 4
+
+let create net pats =
+  let blocks = Array.of_list (Pattern.blocks pats) in
+  {
+    net;
+    pats;
+    blocks;
+    goods = Array.map (fun b -> Logic_sim.simulate_block net b) blocks;
+    shards =
+      Array.init nshards (fun _ ->
+          { lock = Mutex.create (); tbl = Hashtbl.create 256; order = Queue.create (); words = 0 });
+  }
+
+let for_problem net pats =
+  Mutex.lock registry_lock;
+  let t =
+    match List.find_opt (fun t -> t.net == net && t.pats == pats) !registry with
+    | Some t ->
+      (* Move to front: the registry is tiny, so LRU by reinsertion. *)
+      registry := t :: List.filter (fun u -> u != t) !registry;
+      t
+    | None ->
+      let t = create net pats in
+      registry := t :: List.filteri (fun i _ -> i < max_instances - 1) !registry;
+      t
+  in
+  Mutex.unlock registry_lock;
+  t
+
+let goods_for net pats =
+  if enabled () then goods (for_problem net pats)
+  else Array.of_list (List.map (Logic_sim.simulate_block net) (Pattern.blocks pats))
+
+let clear () =
+  Mutex.lock registry_lock;
+  registry := [];
+  Mutex.unlock registry_lock

@@ -1,0 +1,91 @@
+(** Cross-phase fault-signature cache.
+
+    Every diagnosis phase — the explanation matrix, the single-fault and
+    dictionary baselines, and each campaign trial — fault-simulates the
+    same stuck lines against the same circuit and test set.  The result
+    of one such simulation depends only on [(netlist, pattern set,
+    site, polarity)], never on the datalog, so it is memoised here once
+    and replayed everywhere else.
+
+    A cached signature is the flat triple list
+    [(block index, PO position, diff word); ...] exactly as
+    {!Fault_sim.iter_po_diffs} reports it block by block: blocks
+    ascending, PO positions ascending within a block, only non-zero
+    masked diff words.  That compact form replays into an explanation
+    matrix without touching the simulator and expands into the
+    per-output {!Bitvec.t} signatures the baselines consume.
+
+    Concurrency and determinism: instances are shared across domains.
+    Buckets are sharded under per-shard mutexes, so concurrent probes
+    and stores never block the whole cache.  A key's value is a pure
+    function of the problem, so whatever interleaving wins a store
+    race, every reader sees the same triples — results of cached
+    computations are bit-identical to uncached ones for every domain
+    count.  Only the hit/miss {e counters} depend on scheduling when
+    several domains race on a cold key.
+
+    Memory is bounded: each shard evicts in insertion (FIFO) order once
+    its share of the word budget (default 64 MB, [MDD_SIG_CACHE_MB]
+    overrides) is exceeded.  Eviction only ever costs a re-simulation.
+
+    The cache is on by default; the [MDD_NO_CACHE] environment variable
+    (any non-empty value) or {!set_enabled} turns it off — callers then
+    fall back to direct simulation.  Counters (DESIGN.md §9):
+    ["cache.hits"], ["cache.misses"], ["cache.evictions"]. *)
+
+type t
+(** One per-(netlist, pattern-set) cache instance.  Instances live in a
+    small process-global registry keyed by physical equality of the
+    netlist and pattern set, so repeated {!for_problem} calls — e.g.
+    campaign trials sharing one circuit — share one instance. *)
+
+val for_problem : Netlist.t -> Pattern.t -> t
+(** The instance for this problem, created on first use.  Creation
+    computes the good-machine words of every block eagerly (they are
+    shared by all phases through {!goods}).  The registry keeps the
+    most recently used instances and drops the oldest beyond a small
+    cap. *)
+
+val goods : t -> Logic_sim.net_values array
+(** Good-machine words of every block, in [Pattern.blocks] order.
+    Read-only; shared across domains. *)
+
+val blocks : t -> Pattern.block array
+(** The pattern blocks, in [Pattern.blocks] order. *)
+
+val goods_for : Netlist.t -> Pattern.t -> Logic_sim.net_values array
+(** The shared good-machine words when the cache is {!enabled}; a fresh
+    uncached computation otherwise. *)
+
+val key : site:Netlist.net -> stuck:bool -> int
+(** Canonical bucket key of a stuck fault ([2*site + stuck]).  Callers
+    that collapse equivalence classes should key by the class
+    representative so all phases share one entry per class. *)
+
+val find : t -> int -> int array option
+(** Cached triples for a key, bumping the hit/miss counters.  Returns
+    [None] (a miss) when the cache is disabled. *)
+
+val store : t -> int -> int array -> unit
+(** Insert (or overwrite) a key's triples, evicting FIFO-oldest entries
+    of the shard past its budget share.  No-op when disabled.  The
+    array is owned by the cache afterwards; do not mutate it. *)
+
+val lookup : t -> Fault_sim.t -> site:Netlist.net -> stuck:bool -> int array
+(** [find] under {!key}, computing the triples with the given simulator
+    (and storing them) on a miss.  The simulator must belong to the
+    calling domain. *)
+
+val signature_of_triples : t -> int array -> Bitvec.t array
+(** Expand triples into the per-PO, bit-per-pattern signature shape of
+    {!Fault_sim.signature}. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Process-wide switch; initialised to on unless [MDD_NO_CACHE] is a
+    non-empty value.  Turning the cache off does not drop stored
+    entries; use {!clear} for that. *)
+
+val clear : unit -> unit
+(** Drop every instance from the registry (entries become unreachable).
+    For benchmarks that must measure the cold path and for tests. *)

@@ -164,13 +164,53 @@ let parallel_for ?domains n body =
     else run_chunks d (chunk_bounds n d) (fun _ lo hi -> body lo hi)
   end
 
-let weighted_chunks ?domains ?(chunks_per_domain = 4) ~weights () =
+(* Merge adjacent chunks until each (except possibly the only one left)
+   carries at least [min_w] weight.  Cache-aware callers use this to
+   keep a near-empty residue — e.g. the few candidates that missed a
+   warm signature cache — from fanning out across domains whose spawns
+   cost more than the work. *)
+let merge_small_chunks weights min_w chunks =
+  if min_w <= 0 then chunks
+  else begin
+    let weight_of (lo, hi) =
+      let w = ref 0 in
+      for i = lo to hi - 1 do
+        w := !w + max 1 weights.(i)
+      done;
+      !w
+    in
+    let merged = ref [] in
+    let acc = ref None in
+    Array.iter
+      (fun (lo, hi) ->
+        match !acc with
+        | None -> acc := Some (lo, hi, weight_of (lo, hi))
+        | Some (alo, ahi, w) ->
+          if w >= min_w then begin
+            merged := (alo, ahi) :: !merged;
+            acc := Some (lo, hi, weight_of (lo, hi))
+          end
+          else acc := Some (alo, hi, w + weight_of (lo, hi)))
+      chunks;
+    (match !acc with
+    | Some (alo, ahi, w) -> (
+      (* A light trailing chunk folds into its predecessor. *)
+      match !merged with
+      | (plo, _) :: rest when w < min_w -> merged := (plo, ahi) :: rest
+      | _ -> merged := (alo, ahi) :: !merged)
+    | None -> ());
+    Array.of_list (List.rev !merged)
+  end
+
+let weighted_chunks ?domains ?(chunks_per_domain = 4) ?(min_chunk_weight = 0) ~weights () =
   let n = Array.length weights in
   if n = 0 then [||]
   else begin
     let d = width domains n in
     if d <= 1 then [| (0, n) |]
-    else chunk_bounds_weighted weights (d * max 1 chunks_per_domain)
+    else
+      merge_small_chunks weights min_chunk_weight
+        (chunk_bounds_weighted weights (d * max 1 chunks_per_domain))
   end
 
 let run_plan ?domains plan body =

@@ -68,6 +68,7 @@ val parallel_for_weighted :
 val weighted_chunks :
   ?domains:int ->
   ?chunks_per_domain:int ->
+  ?min_chunk_weight:int ->
   weights:int array ->
   unit ->
   (int * int) array
@@ -77,7 +78,14 @@ val weighted_chunks :
     collections that stall every active domain — ruinous when domains
     outnumber cores).  Chunks are non-empty, contiguous, in index
     order, and cover [0, Array.length weights); a single chunk is
-    returned when the effective width is 1. *)
+    returned when the effective width is 1.
+
+    [min_chunk_weight] (default 0: off) merges adjacent chunks until
+    each carries at least that much weight — so a batch left almost
+    empty by an upstream screen (e.g. candidates that hit a warm
+    signature cache) collapses to one or two chunks and runs inline
+    instead of paying domain spawns that dwarf the work.  The plan
+    still depends only on the weights, preserving determinism. *)
 
 val run_plan : ?domains:int -> (int * int) array -> (int -> int -> int -> unit) -> unit
 (** [run_plan plan body] calls [body i lo hi] once per chunk of a
