@@ -4,9 +4,9 @@
    committed next to this file, so the gate and CI read one source of
    truth instead of inline literals.
 
-   Three independent gates run against the rnd1k problem of
-   [Parbench.run] (fixed seed, so everything but wall time is
-   deterministic):
+   Four independent gates; the first three run against the rnd1k
+   problem of [Parbench.run] (fixed seed, so everything but wall time
+   is deterministic), the fourth against the rnd2k batch A/B:
 
    1. Counter gate.  The instrumented counters of one explain-build +
       diagnose run at 1 domain are compared with the committed
@@ -31,7 +31,14 @@
       even on a single-CPU host (the old parked-pool collapse measured
       0.47x at 4 domains).  The floor leaves headroom below the ~0.7-0.9x
       a shared single CPU measures, because such hosts add tens of
-      percent of run-to-run noise. *)
+      percent of run-to-run noise.
+
+   4. Batch-speedup gate.  Same-binary A/B on rnd2k: batched
+      explain-build must stay at least [min_batch_speedup] times faster
+      than the per-fault loop — the perf property the PPSFP pass
+      bought.  [Batchbench] interleaves the modes and ratios best
+      times, which is what keeps this timing gate stable enough to
+      floor at all. *)
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
 
@@ -43,6 +50,7 @@ type thresholds = {
   min_cache_hit_rate : float;
   max_counter_growth : float;
   min_counter_ratio : float;
+  min_batch_speedup : float;
   gated_counters : string list;
 }
 
@@ -67,6 +75,7 @@ let load_thresholds () =
     min_cache_hit_rate = fnum "min_cache_hit_rate";
     max_counter_growth = fnum "max_counter_growth";
     min_counter_ratio = fnum "min_counter_ratio";
+    min_batch_speedup = fnum "min_batch_speedup";
     gated_counters;
   }
 
@@ -187,6 +196,24 @@ let write_baseline () =
   Printf.printf "check_regress: wrote %s (%d counters)\n" baseline_path
     (List.length counters)
 
+(* The perf property the PPSFP pass bought: same-binary A/B on rnd2k,
+   batched explain-build versus the per-fault loop.  [Batchbench]
+   interleaves the two modes run by run and the ratio divides best
+   (minimum) times, so a shared host's speed drift cancels out of the
+   ratio instead of flaking the floor. *)
+let check_batch_speedup t =
+  let report = Batchbench.run ~circuits:[ "rnd2k" ] ~repeats:7 () in
+  match Batchbench.speedups report with
+  | [ (_, explain_speedup, diagnose_speedup) ] ->
+    Printf.printf
+      "check_regress: rnd2k batched vs per-fault: explain %.2fx, diagnose %.2fx \
+       (floor %.2fx on explain)\n%!"
+      explain_speedup diagnose_speedup t.min_batch_speedup;
+    if explain_speedup < t.min_batch_speedup then
+      die "check_regress: FAIL — batched explain-build speedup %.2fx below floor %.2fx"
+        explain_speedup t.min_batch_speedup
+  | _ -> die "check_regress: batch bench produced no rnd2k speedup"
+
 let () =
   if Array.mem "--write-baseline" Sys.argv then write_baseline ()
   else
@@ -198,4 +225,5 @@ let () =
       let _report, current = capture_current () in
       check_counters t current;
       check_cache_hit_rate t;
-      check_timing t
+      check_timing t;
+      check_batch_speedup t

@@ -8,7 +8,11 @@
      dune exec bench/main.exe -- --trials 30 table4
      dune exec bench/main.exe -- micro        # Bechamel kernels only
      dune exec bench/main.exe -- parallel     # domain scaling, writes
-                                              # BENCH_parallel.json *)
+                                              # BENCH_parallel.json
+     dune exec bench/main.exe -- batch        # PPSFP batch A/B per tier
+                                              # (MDD_BENCH_TIER=large for
+                                              # rnd10k/rnd50k), writes
+                                              # BENCH_batch.json *)
 
 let trials = ref 10
 let seed = ref 2024
@@ -131,6 +135,34 @@ let run_parallel () =
   | Some { Parbench.stats = None; _ } | None -> ());
   print_newline ()
 
+(* --- Batched-kernel A/B -------------------------------------------- *)
+
+(* Circuit list for the `batch` group, selected by MDD_BENCH_TIER:
+   unset/"default" runs the suite's two random-logic circuits plus every
+   vendored .bench circuit (seconds); "large" adds the rnd10k/rnd50k
+   tiers (the weekly CI job); anything else is a comma-separated
+   explicit list of suite or tier names. *)
+let batch_circuits () =
+  let vendored =
+    List.filter
+      (fun (name, _) -> name <> "rnd10k" && name <> "rnd50k")
+      (Generators.tiers ())
+    |> List.map fst
+  in
+  let default = [ "rnd1k"; "rnd2k" ] @ vendored in
+  match Sys.getenv_opt "MDD_BENCH_TIER" with
+  | None | Some "" | Some "default" -> default
+  | Some "large" -> default @ [ "rnd10k"; "rnd50k" ]
+  | Some names -> String.split_on_char ',' names |> List.map String.trim
+
+let run_batch () =
+  let circuits = batch_circuits () in
+  let report = Batchbench.run ~circuits ~repeats:(max 3 (!trials / 2)) () in
+  Table.print (Batchbench.to_table report);
+  let path = "BENCH_batch.json" in
+  Batchbench.write_json ~path report;
+  Printf.printf "(wrote %s)\n\n%!" path
+
 (* --- Table/figure drivers ------------------------------------------ *)
 
 let experiments : (string * (unit -> Table.t)) list =
@@ -178,6 +210,7 @@ let run_experiment name =
     match name with
     | "micro" -> run_micro ()
     | "parallel" -> run_parallel ()
+    | "batch" -> run_batch ()
     | _ ->
       prerr_endline ("unknown experiment: " ^ name);
       exit 2)
@@ -197,7 +230,7 @@ let () =
   Arg.parse spec (fun name -> selected := name :: !selected) "bench/main.exe [experiments]";
   let to_run =
     match List.rev !selected with
-    | [] -> List.map fst experiments @ [ "micro"; "parallel" ]
+    | [] -> List.map fst experiments @ [ "micro"; "parallel"; "batch" ]
     | l -> l
   in
   List.iter run_experiment to_run

@@ -14,12 +14,20 @@ let load_circuit bench suite =
       Error (Printf.sprintf "%s:%d: %s" path line msg)
     | Sys_error msg -> Error msg)
   | None, Some name -> (
+    (* Suite first, then the large benchmark tiers (rnd10k/rnd50k and
+       vendored .bench circuits) — forced lazily, so suite lookups never
+       pay tier construction. *)
     match Generators.find_suite name with
     | Some net -> Ok net
-    | None ->
-      Error
-        (Printf.sprintf "unknown suite circuit %S (try: %s)" name
-           (String.concat ", " (List.map fst (Generators.suite ())))))
+    | None -> (
+      match Generators.find_tier name with
+      | Some net -> Ok net
+      | None ->
+        Error
+          (Printf.sprintf "unknown circuit %S (try: %s)" name
+             (String.concat ", "
+                (List.map fst (Generators.suite ())
+                @ List.map fst (Generators.tiers ()))))))
   | Some _, Some _ -> Error "give either --bench or --circuit, not both"
   | None, None -> Error "a circuit is required: --bench FILE or --circuit NAME"
 
@@ -67,11 +75,21 @@ let no_cache_arg =
   in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let no_batch_arg =
+  let doc =
+    "Disable the PPSFP batched fault-simulation pass and fall back to \
+     the per-fault scalar sweep; the MDD_NO_BATCH environment variable \
+     does the same.  For A/B measurement — results are identical either \
+     way."
+  in
+  Arg.(value & flag & info [ "no-batch" ] ~doc)
+
 (* Flags only disable: leaving one off keeps the environment-derived
    default in place, mirroring [apply_domains]. *)
-let apply_prune_cache ~no_prune ~no_cache =
+let apply_prune_cache ~no_prune ~no_cache ~no_batch =
   if no_prune then Explain.set_pruning false;
-  if no_cache then Sig_cache.set_enabled false
+  if no_cache then Sig_cache.set_enabled false;
+  if no_batch then Fault_sim.set_batching false
 
 (* Pattern source: an explicit file, or the in-repo ATPG flow. *)
 let patterns_arg =

@@ -23,9 +23,9 @@ let no_validate_arg =
   Arg.(value & flag & info [ "no-validate" ] ~doc)
 
 let run bench suite patterns_file datalog_file method_ no_validate no_prune no_cache
-    domains stats =
+    no_batch domains stats =
   Cli_common.apply_domains domains;
-  Cli_common.apply_prune_cache ~no_prune ~no_cache;
+  Cli_common.apply_prune_cache ~no_prune ~no_cache ~no_batch;
   let stats_dest = Cli_common.init_stats stats in
   let net = Cli_common.or_die (Cli_common.load_circuit bench suite) in
   let pats = Cli_common.or_die (Cli_common.load_patterns net patterns_file) in
@@ -69,6 +69,7 @@ let run bench suite patterns_file datalog_file method_ no_validate no_prune no_c
         ("domains", string_of_int (Parallel.default_domains ()));
         ("prune", if Explain.pruning () then "on" else "off");
         ("cache", if Sig_cache.enabled () then "on" else "off");
+        ("batch", if Fault_sim.batching () then "on" else "off");
       ]
 
 let cmd =
@@ -88,6 +89,7 @@ let cmd =
     Term.(
       const run $ Cli_common.bench_arg $ Cli_common.suite_arg $ Cli_common.patterns_arg
       $ datalog_arg $ method_arg $ no_validate_arg $ Cli_common.no_prune_arg
-      $ Cli_common.no_cache_arg $ Cli_common.domains_arg $ Cli_common.stats_arg)
+      $ Cli_common.no_cache_arg $ Cli_common.no_batch_arg $ Cli_common.domains_arg
+      $ Cli_common.stats_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -31,8 +31,9 @@ type t = {
   observations : Datalog.observation array;
   failing : int array;
   covers : Bitvec.t array; (* per row *)
-  matched : int array array; (* row x failing-pattern *)
-  spurious : int array array;
+  nfp : int; (* failing-pattern count, the minor stride below *)
+  matched : int array; (* flat row x failing-pattern, [row * nfp + fp] *)
+  spurious : int array;
   mispredict_pass : int array;
   nfail_pos : int array; (* failing-pattern -> #failing POs *)
 }
@@ -44,14 +45,21 @@ let num_seeded t = t.num_seeded
 let observations t = t.observations
 let failing t = t.failing
 let covers t c = t.covers.(t.row_of.(c))
-let matched t c fp = t.matched.(t.row_of.(c)).(fp)
-let spurious t c fp = t.spurious.(t.row_of.(c)).(fp)
+let matched t c fp = t.matched.((t.row_of.(c) * t.nfp) + fp)
+let spurious t c fp = t.spurious.((t.row_of.(c) * t.nfp) + fp)
 
 let exact t c fp =
-  let r = t.row_of.(c) in
-  t.matched.(r).(fp) = t.nfail_pos.(fp) && t.spurious.(r).(fp) = 0
+  let o = (t.row_of.(c) * t.nfp) + fp in
+  t.matched.(o) = t.nfail_pos.(fp) && t.spurious.(o) = 0
 
-let mispredict_fail t c = Array.fold_left ( + ) 0 t.spurious.(t.row_of.(c))
+let mispredict_fail t c =
+  let o = t.row_of.(c) * t.nfp in
+  let acc = ref 0 in
+  for fp = 0 to t.nfp - 1 do
+    acc := !acc + t.spurious.(o + fp)
+  done;
+  !acc
+
 let mispredict_pass t c = t.mispredict_pass.(t.row_of.(c))
 
 (* Candidate seeds: both stuck polarities of every net in the union of
@@ -120,6 +128,12 @@ let tbuf_push b v =
 
 let build ?domains ?prune ?cache net pats dlog =
   Obs.phase "explain-build" @@ fun () ->
+  (* Sub-phases (nested spans, see [Obs]): prep = seeding, screening,
+     class collapse, lookup tables and the chunk plan; sim = the
+     parallel region over cache misses; replay = signature store plus
+     warm-row matrix fill.  On warm-cache rebuilds sim is empty and the
+     split shows where the remaining time lives. *)
+  let sp_prep = Obs.span_begin "explain.prep" in
   let prune = match prune with Some p -> p | None -> pruning () in
   let use_cache = match cache with Some c -> c | None -> Sig_cache.enabled () in
   let seeded = seed_candidates net dlog in
@@ -158,9 +172,29 @@ let build ?domains ?prune ?cache net pats dlog =
         for k = 0 to block.width - 1 do
           if fp_of_pattern.(block.base + k) >= 0 then m := !m lor (1 lsl k)
         done;
-        !m)
+      !m)
       blocks
   in
+  (* Word-level observed-bit masks, one per (block, PO): bit [k] is set
+     iff pattern [base + k] is failing *and* that (pattern, po) pair was
+     observed failing.  The batched matrix fill and the cache replay
+     split each diff word into matched ([w land obsmask]) and spurious
+     ([w land fail_mask land lnot obsmask]) bits up front, so the
+     per-bit loop carries no observation lookup or branch. *)
+  let bi_of_pattern = Array.make (max 1 (Datalog.npatterns dlog)) 0 in
+  Array.iteri
+    (fun bi (block : Pattern.block) ->
+      for k = 0 to block.width - 1 do
+        bi_of_pattern.(block.base + k) <- bi
+      done)
+    blocks;
+  let obsmask = Array.make (max 1 (nblocks * npos)) 0 in
+  Array.iter
+    (fun (ob : Datalog.observation) ->
+      let bi = bi_of_pattern.(ob.pattern) in
+      let k = ob.pattern - blocks.(bi).Pattern.base in
+      obsmask.((bi * npos) + ob.po) <- obsmask.((bi * npos) + ob.po) lor (1 lsl k))
+    observations;
   (* Activation screen (exactness-preserving, DESIGN.md §10): a stuck-at
      fault only injects an error on patterns where the good value
      differs from the stuck value.  A candidate inactive on every
@@ -244,8 +278,8 @@ let build ?domains ?prune ?cache net pats dlog =
     end
   in
   let covers = Array.init nrows (fun _ -> Bitvec.create nobs) in
-  let matched = Array.make_matrix nrows nfp 0 in
-  let spurious = Array.make_matrix nrows nfp 0 in
+  let matched = Array.make (max 1 (nrows * nfp)) 0 in
+  let spurious = Array.make (max 1 (nrows * nfp)) 0 in
   let mispredict_pass = Array.make (max 1 nrows) 0 in
   (* Cache probe, sequential on the calling domain (deterministic hit
      pattern and eviction order within one build).  Rows found warm are
@@ -287,95 +321,207 @@ let build ?domains ?prune ?cache net pats dlog =
     if !nmiss = 0 then 0
     else 16 * (Array.fold_left ( + ) 0 weights / !nmiss)
   in
-  (* Candidate-partitioned fault simulation: each chunk owns a private
-     [Fault_sim.t] scratch and writes only its own rows of the
-     accumulators, so domains share nothing mutable and the result is
-     bit-identical for every domain count.  All scratch is allocated on
-     the calling domain *before* the parallel region; with the cache
-     off the region never allocates (per-event state lives in the refs
-     below), and with it on the only allocation is the amortised triple
-     buffer growth on this chunk's own misses. *)
-  let plan = Parallel.weighted_chunks ?domains ~min_chunk_weight ~weights () in
-  let sims = Array.map (fun _ -> Fault_sim.create ~reach net) plan in
+  (* Candidate-partitioned fault simulation: chunks write only their
+     own rows of the accumulators, so domains share nothing mutable and
+     the result is bit-identical for every domain count.  Scratch —
+     [Fault_sim.t], the PPSFP batch slabs, the triple buffers — is
+     allocated on the calling domain *before* the parallel region and
+     keyed on the {e drain slot} (one per participating domain), not on
+     the chunk: the batch's transposed delta slab is O(nets x blocks)
+     and a per-chunk copy would not scale to the 50k tiers.  Chunk
+     bodies therefore key result writes on the row/miss index only.
+
+     With batching on (the default) a chunk is a (fault-batch x
+     block-set) tile: [Fault_sim.simulate_batch] sweeps each fault's
+     cone once carrying a delta word per block, emitting every fault's
+     triples in the canonical per-block order — byte-compatible with
+     the scalar path and with every [Sig_cache] entry.  The tile cap
+     bounds the fault axis so per-batch working sets stay cache-sized
+     (and so single-domain runs still tile). *)
+  let use_batch = Fault_sim.batching () in
+  let batch_tile = 512 in
+  let plan =
+    if use_batch then
+      Parallel.weighted_chunks ?domains ~min_chunk_weight ~max_chunk_size:batch_tile
+        ~weights ()
+    else Parallel.weighted_chunks ?domains ~min_chunk_weight ~weights ()
+  in
+  let nslots = Parallel.plan_slots ?domains plan in
+  let sims = Array.init nslots (fun _ -> Fault_sim.create ~reach net) in
+  let batches =
+    if (not use_batch) || nslots = 0 then [||]
+    else begin
+      let b0 = Fault_sim.prepare_batch sims.(0) ~blocks ~goods in
+      Array.init nslots (fun i ->
+          if i = 0 then b0 else Fault_sim.prepare_batch ~share:b0 sims.(i) ~blocks ~goods)
+    end
+  in
   let tbufs =
     match scache with
     | None -> [||]
-    | Some _ -> Array.map (fun _ -> { buf = Array.make 4096 0; len = 0 }) plan
+    | Some _ -> Array.init nslots (fun _ -> { buf = Array.make 4096 0; len = 0 })
   in
-  (* Per-miss triple extents into the owning chunk's buffer; disjoint
-     writes keyed on the miss index. *)
+  (* Per-miss triple extents into the owning slot's buffer; disjoint
+     writes keyed on the miss index (the slot is recorded per miss so
+     the sequential store below finds the right buffer). *)
   let row_start = Array.make (max 1 !nmiss) 0 in
   let row_len = Array.make (max 1 !nmiss) 0 in
+  let row_buf = Array.make (max 1 !nmiss) 0 in
   let record = scache <> None in
-  Parallel.run_plan ?domains plan (fun ci lo hi ->
-      let sim = sims.(ci) in
-      let tbuf = if record then tbufs.(ci) else { buf = [||]; len = 0 } in
+  Obs.span_end sp_prep;
+  let sp_sim = Obs.span_begin "explain.sim" in
+  Parallel.run_plan_slotted ?domains plan (fun ~slot _ci lo hi ->
+      let sim = sims.(slot) in
+      let tbuf = if record then tbufs.(slot) else { buf = [||]; len = 0 } in
       let cur_base = ref 0 in
-      let cur_bi = ref 0 in
+      let cur_bi = ref (-1) in
       let cur_oi = ref 0 in
       let any = ref 0 in
       let cur_covers = ref covers.(miss.(lo)) in
-      let cur_matched = ref matched.(miss.(lo)) in
-      let cur_spurious = ref spurious.(miss.(lo)) in
+      let cur_ro = ref (miss.(lo) * nfp) in
       let on_bit k =
         let fp = fp_of_pattern.(!cur_base + k) in
         if fp >= 0 then
           if obs_of.((fp * npos) + !cur_oi) >= 0 then begin
             Bitvec.set !cur_covers obs_of.((fp * npos) + !cur_oi) true;
-            !cur_matched.(fp) <- !cur_matched.(fp) + 1
+            matched.(!cur_ro + fp) <- matched.(!cur_ro + fp) + 1
           end
-          else !cur_spurious.(fp) <- !cur_spurious.(fp) + 1
+          else spurious.(!cur_ro + fp) <- spurious.(!cur_ro + fp) + 1
       in
-      let on_po oi d =
-        any := !any lor d;
-        cur_oi := oi;
-        if record then begin
-          tbuf_push tbuf !cur_bi;
-          tbuf_push tbuf oi;
-          tbuf_push tbuf d
-        end;
-        Logic.iter_bits d on_bit
-      in
-      for mi = lo to hi - 1 do
-        let r = miss.(mi) in
-        let f = candidates.(row_member.(r)) in
-        cur_covers := covers.(r);
-        cur_matched := matched.(r);
-        cur_spurious := spurious.(r);
-        row_start.(mi) <- tbuf.len;
-        for bi = 0 to nblocks - 1 do
-          let block = blocks.(bi) in
-          cur_base := block.base;
-          cur_bi := bi;
+      if not use_batch then begin
+        (* Per-fault scalar fallback ([--no-batch] / MDD_NO_BATCH): one
+           cone walk per (fault, block), as before the PPSFP pass. *)
+        let on_po oi d =
+          any := !any lor d;
+          cur_oi := oi;
+          if record then begin
+            tbuf_push tbuf !cur_bi;
+            tbuf_push tbuf oi;
+            tbuf_push tbuf d
+          end;
+          (* [on_bit] ignores passing-pattern bits (fp < 0), so only the
+             failing-pattern slice needs walking; [any] above keeps the
+             full word for the pass-misprediction count. *)
+          Logic.iter_bits (d land fail_masks.(!cur_bi)) on_bit
+        in
+        for mi = lo to hi - 1 do
+          let r = miss.(mi) in
+          let f = candidates.(row_member.(r)) in
+          cur_covers := covers.(r);
+          cur_ro := r * nfp;
+          row_start.(mi) <- tbuf.len;
+          row_buf.(mi) <- slot;
+          for bi = 0 to nblocks - 1 do
+            let block = blocks.(bi) in
+            cur_base := block.base;
+            cur_bi := bi;
+            any := 0;
+            Fault_sim.iter_po_diffs sim ~good:goods.(bi) ~width:block.width
+              ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck on_po;
+            (* Passing patterns where the candidate predicts any
+               failure. *)
+            let pass_pred =
+              !any land lnot fail_masks.(bi) land Logic.mask_of_width block.width
+            in
+            mispredict_pass.(r) <- mispredict_pass.(r) + Logic.popcount pass_pred
+          done;
+          row_len.(mi) <- tbuf.len - row_start.(mi)
+        done
+      end
+      else begin
+        (* Batched tile: one [simulate_batch] call sweeps every fault
+           of the chunk over all blocks; triples arrive fault-major
+           then block-major, so row and block boundaries are detected
+           on the fly.  Rows whose every block screens produce no
+           triples and keep their zero-length extent. *)
+        let b = batches.(slot) in
+        let cur_mi = ref (-1) in
+        let cur_r = ref 0 in
+        let flush_block () =
+          if !cur_bi >= 0 then begin
+            let pass_pred =
+              !any
+              land lnot fail_masks.(!cur_bi)
+              land Logic.mask_of_width blocks.(!cur_bi).Pattern.width
+            in
+            mispredict_pass.(!cur_r) <- mispredict_pass.(!cur_r) + Logic.popcount pass_pred
+          end;
           any := 0;
-          Fault_sim.iter_po_diffs sim ~good:goods.(bi) ~width:block.width
-            ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck on_po;
-          (* Passing patterns where the candidate predicts any failure. *)
-          let pass_pred =
-            !any land lnot fail_masks.(bi) land Logic.mask_of_width block.width
-          in
-          mispredict_pass.(r) <- mispredict_pass.(r) + Logic.popcount pass_pred
-        done;
-        row_len.(mi) <- tbuf.len - row_start.(mi)
-      done);
+          cur_bi := -1
+        in
+        let close_row () =
+          if !cur_mi >= 0 then begin
+            flush_block ();
+            row_len.(!cur_mi) <- tbuf.len - row_start.(!cur_mi)
+          end;
+          cur_mi := -1
+        in
+        Fault_sim.simulate_batch b ~n:(hi - lo)
+          ~fault:(fun j ->
+            let f = candidates.(row_member.(miss.(lo + j))) in
+            (f.Fault_list.site, f.Fault_list.stuck))
+          (fun j bi oi w ->
+            let mi = lo + j in
+            if mi <> !cur_mi then begin
+              close_row ();
+              let r = miss.(mi) in
+              cur_mi := mi;
+              cur_r := r;
+              row_start.(mi) <- tbuf.len;
+              row_buf.(mi) <- slot;
+              cur_covers := covers.(r);
+              cur_ro := r * nfp
+            end;
+            if bi <> !cur_bi then begin
+              flush_block ();
+              cur_bi := bi;
+              cur_base := blocks.(bi).Pattern.base
+            end;
+            any := !any lor w;
+            if record then begin
+              tbuf_push tbuf bi;
+              tbuf_push tbuf oi;
+              tbuf_push tbuf w
+            end;
+            (* Failing-pattern bits only ([on_bit] would ignore the
+               rest), split matched/spurious by [obsmask] so each bit is
+               a lookup and an increment, nothing more. *)
+            let wf = w land fail_masks.(bi) in
+            let om = obsmask.((bi * npos) + oi) in
+            let wm = ref (wf land om) in
+            while !wm <> 0 do
+              let k = Bitvec.ctz_word !wm in
+              wm := !wm land (!wm - 1);
+              let fp = fp_of_pattern.(!cur_base + k) in
+              Bitvec.set !cur_covers obs_of.((fp * npos) + oi) true;
+              matched.(!cur_ro + fp) <- matched.(!cur_ro + fp) + 1
+            done;
+            let ws = ref (wf land lnot om) in
+            while !ws <> 0 do
+              let k = Bitvec.ctz_word !ws in
+              ws := !ws land (!ws - 1);
+              let fp = fp_of_pattern.(!cur_base + k) in
+              spurious.(!cur_ro + fp) <- spurious.(!cur_ro + fp) + 1
+            done);
+        close_row ()
+      end);
+  Obs.span_end sp_sim;
   (* Store the fresh signatures (sequential: one deterministic insertion
      order per build), then replay the warm rows into the matrices. *)
+  let sp_replay = Obs.span_begin "explain.replay" in
   (match scache with
   | None -> ()
   | Some sc ->
-    Array.iteri
-      (fun ci (lo, hi) ->
-        let tbuf = tbufs.(ci) in
-        for mi = lo to hi - 1 do
-          Sig_cache.store sc row_key.(miss.(mi))
-            (Array.sub tbuf.buf row_start.(mi) row_len.(mi))
-        done)
-      plan;
+    for mi = 0 to !nmiss - 1 do
+      Sig_cache.store sc row_key.(miss.(mi))
+        (Array.sub tbufs.(row_buf.(mi)).buf row_start.(mi) row_len.(mi))
+    done;
     for r = 0 to nrows - 1 do
       match hit.(r) with
       | None -> ()
       | Some triples ->
-        let rm = matched.(r) and rs = spurious.(r) and rc = covers.(r) in
+        let rc = covers.(r) in
+        let ro = r * nfp in
         let i = ref 0 in
         let n = Array.length triples in
         let prev_bi = ref (-1) in
@@ -398,18 +544,28 @@ let build ?domains ?prune ?cache net pats dlog =
           end;
           any := !any lor d;
           let base = blocks.(bi).Pattern.base in
-          Logic.iter_bits d (fun k ->
-              let fp = fp_of_pattern.(base + k) in
-              if fp >= 0 then
-                if obs_of.((fp * npos) + oi) >= 0 then begin
-                  Bitvec.set rc obs_of.((fp * npos) + oi) true;
-                  rm.(fp) <- rm.(fp) + 1
-                end
-                else rs.(fp) <- rs.(fp) + 1);
+          let wf = d land fail_masks.(bi) in
+          let om = obsmask.((bi * npos) + oi) in
+          let wm = ref (wf land om) in
+          while !wm <> 0 do
+            let k = Bitvec.ctz_word !wm in
+            wm := !wm land (!wm - 1);
+            let fp = fp_of_pattern.(base + k) in
+            Bitvec.set rc obs_of.((fp * npos) + oi) true;
+            matched.(ro + fp) <- matched.(ro + fp) + 1
+          done;
+          let ws = ref (wf land lnot om) in
+          while !ws <> 0 do
+            let k = Bitvec.ctz_word !ws in
+            ws := !ws land (!ws - 1);
+            let fp = fp_of_pattern.(base + k) in
+            spurious.(ro + fp) <- spurious.(ro + fp) + 1
+          done;
           i := !i + 3
         done;
         flush ()
     done);
+  Obs.span_end sp_replay;
   if Obs.enabled () then begin
     Obs.incr c_builds;
     Obs.add c_candidates nrows;
@@ -418,6 +574,7 @@ let build ?domains ?prune ?cache net pats dlog =
     Obs.add c_screened screened;
     Obs.add c_class_merged (ncand - nrows);
     Array.iter Fault_sim.publish_stats sims;
+    Array.iter Fault_sim.publish_batch_stats batches;
     (* PO scans the reachability screen saved: every simulated row-block
        pass visits only the site's reachable POs instead of all of
        them. *)
@@ -438,6 +595,7 @@ let build ?domains ?prune ?cache net pats dlog =
     observations;
     failing;
     covers;
+    nfp;
     matched;
     spurious;
     mispredict_pass;

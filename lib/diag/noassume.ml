@@ -263,6 +263,7 @@ let refine config m pats chosen covers =
 type good_cache = {
   blocks : (Pattern.block * Logic_sim.net_values) list;
   fp_of_pattern : (int, int) Hashtbl.t;
+  slot_of_fp : (int * int) array; (* failing pattern -> (block index, bit) *)
   good_at : fp:int -> Netlist.net -> bool; (* value on a failing pattern *)
 }
 
@@ -273,20 +274,21 @@ let build_good_cache net pats failing =
      the explanation matrix already computed them. *)
   let goods = Sig_cache.goods_for net pats in
   let blocks = List.mapi (fun i b -> (b, goods.(i))) (Pattern.blocks pats) in
-  let by_fp = Array.make (Array.length failing) (0, [||]) in
-  List.iter
-    (fun (block, words) ->
+  let slot_of_fp = Array.make (max 1 (Array.length failing)) (0, 0) in
+  List.iteri
+    (fun bi (block, _) ->
       for k = 0 to block.Pattern.width - 1 do
         match Hashtbl.find_opt fp_of_pattern (block.Pattern.base + k) with
-        | Some fp -> by_fp.(fp) <- (k, words)
+        | Some fp -> slot_of_fp.(fp) <- (bi, k)
         | None -> ()
       done)
     blocks;
+  let words = Array.of_list (List.map snd blocks) in
   let good_at ~fp n =
-    let k, words = by_fp.(fp) in
-    words.(n) lsr k land 1 = 1
+    let bi, k = slot_of_fp.(fp) in
+    words.(bi).(n) lsr k land 1 = 1
   in
-  { blocks; fp_of_pattern; good_at }
+  { blocks; fp_of_pattern; slot_of_fp; good_at }
 
 let max_aggressors = 16
 
@@ -316,60 +318,102 @@ let infer_aggressors config m cache site members covers =
   else begin
     let sim = Fault_sim.create net in
     let npos = Array.length (Netlist.pos net) in
+    let blocks_arr = Array.of_list (List.map fst cache.blocks) in
+    let words_arr = Array.of_list (List.map snd cache.blocks) in
+    let nblocks = Array.length blocks_arr in
     (* Observed failing bits per block — one word per output plus the
        block's observation count — shared by every aggressor screen
        below; the datalog lists are walked once instead of once per
        (aggressor, pattern). *)
-    let block_obs =
-      List.map
-        (fun ((block : Pattern.block), _) ->
-          let observed = Array.make npos 0 in
-          let total = ref 0 in
-          for k = 0 to block.Pattern.width - 1 do
-            List.iter
-              (fun oi ->
-                observed.(oi) <- observed.(oi) lor (1 lsl k);
-                incr total)
-              (Datalog.failing_pos dlog (block.Pattern.base + k))
-          done;
-          (observed, !total))
-        cache.blocks
+    let observed_flat = Array.make (max 1 (nblocks * npos)) 0 in
+    let total_obs = ref 0 in
+    Array.iteri
+      (fun bi (block : Pattern.block) ->
+        for k = 0 to block.Pattern.width - 1 do
+          List.iter
+            (fun oi ->
+              observed_flat.((bi * npos) + oi) <-
+                observed_flat.((bi * npos) + oi) lor (1 lsl k);
+              incr total_obs)
+            (Datalog.failing_pos dlog (block.Pattern.base + k))
+        done)
+      blocks_arr;
+    let total_obs = !total_obs in
+    (* Penalty of the dominant-bridge hypothesis "site follows a".  With
+       batching on, one PPSFP sweep carries all blocks; the per-block
+       event-driven fallback keeps the [--no-batch] A/B honest.  An
+       observed failure the hypothesis does not reproduce is a miss
+       whether or not the output differs at all, so the miss count is
+       the observation total minus the explained bits. *)
+    let use_batch = Fault_sim.batching () in
+    let batch =
+      if use_batch then
+        Some (Fault_sim.prepare_batch sim ~blocks:blocks_arr ~goods:words_arr)
+      else None
     in
-    (* Penalty of the dominant-bridge hypothesis "site follows a",
-       screened with the event-driven simulator; word-parallel counting
-       against the precomputed observation bitsets. *)
+    let deltas = Array.make (max 1 nblocks) 0 in
     let screen a =
-      let missed = ref 0 and spurious = ref 0 in
-      List.iter2
-        (fun ((block : Pattern.block), words) (observed, total_obs) ->
+      let explained = ref 0 and spurious = ref 0 in
+      (match batch with
+      | Some b ->
+        for bi = 0 to nblocks - 1 do
+          deltas.(bi) <- words_arr.(bi).(site) lxor words_arr.(bi).(a)
+        done;
+        Fault_sim.batch_po_diffs_delta b ~site ~deltas (fun bi oi w ->
+            let obs = observed_flat.((bi * npos) + oi) in
+            explained := !explained + Logic.popcount (w land obs);
+            spurious := !spurious + Logic.popcount (w land lnot obs))
+      | None ->
+        for bi = 0 to nblocks - 1 do
+          let block = blocks_arr.(bi) and words = words_arr.(bi) in
           let delta = words.(site) lxor words.(a) in
-          let explained_here = ref 0 in
           Fault_sim.iter_po_diffs_delta sim ~good:words ~width:block.Pattern.width
             ~site ~delta (fun oi d ->
-              let obs = observed.(oi) in
-              explained_here := !explained_here + Logic.popcount (d land obs);
-              spurious := !spurious + Logic.popcount (d land lnot obs));
-          (* An observed failure the hypothesis does not reproduce is a
-             miss, whether or not the output differs at all. *)
-          missed := !missed + (total_obs - !explained_here))
-        cache.blocks block_obs;
-      (10 * !missed) + !spurious
+              let obs = observed_flat.((bi * npos) + oi) in
+              explained := !explained + Logic.popcount (d land obs);
+              spurious := !spurious + Logic.popcount (d land lnot obs))
+        done);
+      (10 * (total_obs - !explained)) + !spurious
     in
     let physically_adjacent a =
       match config.layout with
       | None -> true
       | Some (placement, radius) -> Layout.distance placement site a <= radius
     in
+    (* Word-parallel hard filter: the needed (failing pattern, value)
+       pairs regrouped as a (mask, expected) word pair per block, so
+       testing an aggressor is a couple of word compares instead of a
+       hash fold — this runs once per net in the netlist. *)
+    let need_mask = Array.make (max 1 nblocks) 0 in
+    let need_val = Array.make (max 1 nblocks) 0 in
+    Hashtbl.iter
+      (fun fp v ->
+        let bi, k = cache.slot_of_fp.(fp) in
+        need_mask.(bi) <- need_mask.(bi) lor (1 lsl k);
+        if v then need_val.(bi) <- need_val.(bi) lor (1 lsl k))
+      needed;
+    let need_blocks = ref [] in
+    for bi = nblocks - 1 downto 0 do
+      if need_mask.(bi) <> 0 then need_blocks := bi :: !need_blocks
+    done;
+    let need_blocks = Array.of_list !need_blocks in
+    let carries_needed a =
+      let ok = ref true in
+      let i = ref 0 in
+      let n = Array.length need_blocks in
+      while !ok && !i < n do
+        let bi = need_blocks.(!i) in
+        if (words_arr.(bi).(a) lxor need_val.(bi)) land need_mask.(bi) <> 0 then
+          ok := false;
+        incr i
+      done;
+      !ok
+    in
     let candidates = ref [] in
     for a = Netlist.num_nets net - 1 downto 0 do
-      if a <> site && physically_adjacent a then begin
-        let ok =
-          Hashtbl.fold (fun fp v acc -> acc && cache.good_at ~fp a = v) needed true
-        in
-        if ok then begin
-          if Obs.enabled () then Obs.incr c_aggressor_screens;
-          candidates := (screen a, a) :: !candidates
-        end
+      if a <> site && physically_adjacent a && carries_needed a then begin
+        if Obs.enabled () then Obs.incr c_aggressor_screens;
+        candidates := (screen a, a) :: !candidates
       end
     done;
     let ranked = List.sort compare !candidates in
@@ -412,6 +456,13 @@ let build_callouts config m pats chosen covers =
    observations. *)
 let max_validated_aggressors = 10
 
+(* Bridge confirmation stays on the overlay simulator deliberately: a
+   bridge overlay reads its aggressor's (possibly faulty) value and the
+   wired kinds read the victim's driven value, neither of which a
+   delta-propagation pin can express — and [Defect.overlay] may need the
+   overlay engine's multi-sweep fixpoint on reconvergent interactions.
+   The call count here is bounded (callouts x aggressors x kinds), so
+   the batched kernel has nothing to amortize anyway. *)
 let validate_bridges config m pats multiplet callouts score =
   if not config.validate then (callouts, score)
   else begin

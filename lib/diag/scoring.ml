@@ -121,8 +121,118 @@ let overlay_of_multiplet faults =
         })
     sites
 
+(* Batched multiplet scoring (the PPSFP pass, DESIGN.md §11): seed every
+   member of the multiplet into one delta-propagation sweep instead of
+   resimulating the whole netlist under an overlay.  Identical by
+   construction to [evaluate (overlay_of_multiplet faults)]: pins read no
+   other net and the netlist is feedback-free, so one levelized pass is
+   already the overlay simulator's fixpoint, and the emitted diff words
+   equal the predicted-failure words [score_block] popcounts.
+
+   The scratch — a simulator plus batch slabs bound to one (netlist,
+   pattern set), and the datalog's observed words — is domain-local and
+   keyed on physical identity: the refinement loop re-scores hundreds of
+   multiplets against one problem, and a diagnosis touches at most a
+   couple of problems at once (two slots, oldest evicted). *)
+type batch_scratch = {
+  s_net : Netlist.t;
+  s_pats : Pattern.t;
+  s_blocks : Pattern.block array;
+  s_batch : Fault_sim.batch;
+  mutable s_dlog : Datalog.t option; (* tables below are for this log *)
+  mutable s_obs : int array; (* observed-failing words, [bi * npos + oi] *)
+  mutable s_fail : int array; (* per block: observed-failing pattern mask *)
+  mutable s_totobs : int; (* total observations in the datalog *)
+}
+
+let scratch_key : batch_scratch list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let get_scratch net pats =
+  let r = Domain.DLS.get scratch_key in
+  match List.find_opt (fun sc -> sc.s_net == net && sc.s_pats == pats) !r with
+  | Some sc -> sc
+  | None ->
+    let blocks = Array.of_list (Pattern.blocks pats) in
+    let goods = Sig_cache.goods_for net pats in
+    let sim = Fault_sim.create net in
+    let sc =
+      {
+        s_net = net;
+        s_pats = pats;
+        s_blocks = blocks;
+        s_batch = Fault_sim.prepare_batch sim ~blocks ~goods;
+        s_dlog = None;
+        s_obs = [||];
+        s_fail = [||];
+        s_totobs = 0;
+      }
+    in
+    (r := match !r with [] -> [ sc ] | keep :: _ -> [ sc; keep ]);
+    sc
+
+let prep_dlog sc dlog npos =
+  match sc.s_dlog with
+  | Some d when d == dlog -> ()
+  | _ ->
+    let nblocks = Array.length sc.s_blocks in
+    let obs = Array.make (max 1 (nblocks * npos)) 0 in
+    let fail = Array.make (max 1 nblocks) 0 in
+    let tot = ref 0 in
+    Array.iteri
+      (fun bi (block : Pattern.block) ->
+        for k = 0 to block.width - 1 do
+          match Datalog.failing_pos dlog (block.base + k) with
+          | [] -> ()
+          | ois ->
+            fail.(bi) <- fail.(bi) lor (1 lsl k);
+            List.iter
+              (fun oi ->
+                obs.((bi * npos) + oi) <- obs.((bi * npos) + oi) lor (1 lsl k);
+                incr tot)
+              ois
+        done)
+      sc.s_blocks;
+    sc.s_obs <- obs;
+    sc.s_fail <- fail;
+    sc.s_totobs <- !tot;
+    sc.s_dlog <- Some dlog
+
 let evaluate_multiplet ?domains net pats dlog faults =
-  evaluate ?domains net pats dlog (overlay_of_multiplet faults)
+  if not (Fault_sim.batching ()) then
+    evaluate ?domains net pats dlog (overlay_of_multiplet faults)
+  else begin
+    let sc = get_scratch net pats in
+    let npos = Datalog.npos dlog in
+    prep_dlog sc dlog npos;
+    if Obs.enabled () then begin
+      Obs.incr c_evaluations;
+      Obs.add c_blocks_scored (Array.length sc.s_blocks)
+    end;
+    let explained = ref 0 and spurious_fail = ref 0 and spurious_pass = ref 0 in
+    let s_obs = sc.s_obs and s_fail = sc.s_fail in
+    Fault_sim.batch_multiplet_diffs sc.s_batch
+      ~faults:(List.map (fun f -> (f.Fault_list.site, f.Fault_list.stuck)) faults)
+      (fun bi oi w ->
+        (* [w] is already masked to the block's live width. *)
+        let obs = s_obs.((bi * npos) + oi) in
+        let fm = s_fail.(bi) in
+        explained := !explained + Logic.popcount (w land obs);
+        spurious_fail := !spurious_fail + Logic.popcount (w land lnot obs land fm);
+        (* Observed bits only occur on failing patterns, so
+           [w land lnot fm] is exactly predicted-and-not-observed on
+           passing patterns. *)
+        spurious_pass := !spurious_pass + Logic.popcount (w land lnot fm));
+    Fault_sim.publish_stats (Fault_sim.batch_sim sc.s_batch);
+    (* Unemitted (block, PO) words predict nothing, so every observation
+       they carry is missed: total minus explained needs no scan. *)
+    {
+      explained = !explained;
+      missed = sc.s_totobs - !explained;
+      spurious_fail = !spurious_fail;
+      spurious_pass = !spurious_pass;
+    }
+  end
 
 let pp ppf s =
   Format.fprintf ppf "explained %d, missed %d, spurious %d+%d (penalty %d)" s.explained

@@ -513,6 +513,83 @@ let random_logic ~gates ~pis ~pos ~seed =
     ~fanins:(Array.init n (fun i -> Array.copy (Netlist.fanin t0 i)))
     ~pos:(Array.of_list (List.rev !chosen))
 
+(* Like [random_logic], but dead logic is folded into balanced XOR
+   compaction trees merged into the [pos] declared outputs instead of
+   being promoted to extra primary outputs.  At 1-2k gates the
+   promotion adds a handful of POs and is harmless; at 10k+ gates it
+   inflates the PO count ~100x past anything physical (rnd50k would get
+   ~9000 POs where a real 50k-gate netlist has one or two hundred),
+   which in turn inflates every npos-proportional structure downstream —
+   reachability masks, observation tables, emission scans.  The XOR
+   sinks keep every net observable (XOR propagates any single fanin
+   change) at an ISCAS-like PO count, so this is what the big tiers
+   use.  [random_logic] itself is untouched: rnd1k/rnd2k feed the
+   committed paper tables. *)
+let random_logic_sink ~gates ~pis ~pos ~seed =
+  assert (gates >= 1 && pis >= 2 && pos >= 1);
+  let rng = Rng.create seed in
+  let bl = Builder.create () in
+  let kinds = [| Gate.And; Gate.Or; Gate.Nand; Gate.Nor; Gate.Xor; Gate.Not; Gate.Buf |] in
+  let all = Array.make (pis + gates) (-1) in
+  let read = Array.make (pis + gates) false in
+  for i = 0 to pis - 1 do
+    all.(i) <- Builder.input bl (Printf.sprintf "pi%d" i)
+  done;
+  for g = 0 to gates - 1 do
+    let avail = pis + g in
+    let kind = Rng.pick rng kinds in
+    let arity =
+      match kind with
+      | Gate.Not | Gate.Buf -> 1
+      | _ -> 2 + Rng.int rng 3
+    in
+    (* Same locality bias as [random_logic]. *)
+    let draw () =
+      if Rng.bool rng && avail > 8 then
+        avail - 1 - Rng.int rng (max 1 (avail / 4))
+      else Rng.int rng avail
+    in
+    let rec distinct k acc =
+      if k = 0 then acc
+      else
+        let c = draw () in
+        if List.mem c acc then distinct k acc else distinct (k - 1) (c :: acc)
+    in
+    let arity = min arity avail in
+    let kind = if arity = 1 then (if Rng.bool rng then Gate.Not else Gate.Buf) else kind in
+    let picked = distinct arity [] in
+    List.iter (fun i -> read.(i) <- true) picked;
+    all.(pis + g) <- Builder.gate bl (Printf.sprintf "g%d" g) kind (List.map (fun i -> all.(i)) picked)
+  done;
+  (* Output seeds, chosen as [random_logic] does; the sinks then fold
+     every remaining unread net (gate or PI — an unread PI would
+     otherwise be untestable) into one of the [pos] outputs. *)
+  let seeds = Array.init pos (fun i -> pis + gates - 1 - (i mod gates)) in
+  Array.iter (fun i -> read.(i) <- true) seeds;
+  let buckets = Array.make pos [] in
+  let k = ref 0 in
+  for i = 0 to pis + gates - 1 do
+    if not read.(i) then begin
+      buckets.(!k mod pos) <- all.(i) :: buckets.(!k mod pos);
+      incr k
+    end
+  done;
+  let rec reduce = function
+    | [] -> assert false
+    | [ n ] -> n
+    | nets ->
+      let rec pair acc = function
+        | a :: c :: rest -> pair (Builder.xor_ bl [ a; c ] :: acc) rest
+        | [ a ] -> pair (a :: acc) []
+        | [] -> List.rev acc
+      in
+      reduce (pair [] nets)
+  in
+  for i = 0 to pos - 1 do
+    Builder.mark_output bl (reduce (all.(seeds.(i)) :: buckets.(i)))
+  done;
+  Builder.finalize bl
+
 let suite_list = ref None
 
 let suite () =
@@ -544,3 +621,50 @@ let suite () =
     l
 
 let find_suite name = List.assoc_opt name (suite ())
+
+(* Large netlist tiers (10k/50k gates) for the PPSFP kernel benchmarks.
+   Deliberately *outside* {!suite}: every paper table iterates the
+   suite, and the big tiers would multiply table runtimes (deterministic
+   ATPG alone is minutes at 10k+ gates — tier benchmarks drive them with
+   seeded random patterns instead).  The list also picks up any vendored
+   ISCAS-85-style [.bench] circuit under [bench/circuits] (override
+   with MDD_CIRCUITS_DIR), parsed through {!Bench_io} so the on-disk
+   netlist path is exercised at bench time.  Entries are lazy — forcing
+   rnd50k allocates a quarter-million-entry CSR, and a run asking for
+   one tier must not pay for the others. *)
+let circuits_dir () =
+  match Sys.getenv_opt "MDD_CIRCUITS_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> Filename.concat "bench" "circuits"
+
+let tier_list = ref None
+
+let tiers () =
+  match !tier_list with
+  | Some l -> l
+  | None ->
+    let vendored =
+      let dir = circuits_dir () in
+      match Sys.readdir dir with
+      | files ->
+        Array.sort compare files;
+        Array.to_list files
+        |> List.filter_map (fun f ->
+               if Filename.check_suffix f ".bench" then
+                 Some
+                   ( Filename.chop_suffix f ".bench",
+                     lazy (Bench_io.parse_file (Filename.concat dir f)) )
+               else None)
+      | exception Sys_error _ -> []
+    in
+    let l =
+      [
+        ("rnd10k", lazy (random_logic_sink ~gates:9_000 ~pis:96 ~pos:48 ~seed:13));
+        ("rnd50k", lazy (random_logic_sink ~gates:46_000 ~pis:192 ~pos:96 ~seed:14));
+      ]
+      @ vendored
+    in
+    tier_list := Some l;
+    l
+
+let find_tier name = Option.map Lazy.force (List.assoc_opt name (tiers ()))

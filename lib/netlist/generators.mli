@@ -69,6 +69,16 @@ val random_logic : gates:int -> pis:int -> pos:int -> seed:int -> Netlist.t
     marking as additional outputs the nets that would otherwise be
     unread. *)
 
+val random_logic_sink : gates:int -> pis:int -> pos:int -> seed:int -> Netlist.t
+(** Same random DAG, but dead logic is folded into balanced XOR
+    compaction trees merged into the [pos] declared outputs, keeping
+    the PO count at the requested (ISCAS-like) figure instead of
+    growing with circuit size — at 10k+ gates [random_logic]'s
+    promotion rule would yield thousands of POs, ~100x past anything
+    physical, distorting every PO-proportional cost downstream.  Every
+    net stays observable (XOR propagates any single fanin change).
+    Used by the large {!tiers}. *)
+
 val suite : unit -> (string * Netlist.t) list
 (** The benchmark suite used by every table in `bench/main.exe`, ordered
     roughly by gate count: c17, par16, dec4, gray8, add8, penc4, crc16,
@@ -77,3 +87,16 @@ val suite : unit -> (string * Netlist.t) list
 
 val find_suite : string -> Netlist.t option
 (** Look a suite circuit up by name. *)
+
+val tiers : unit -> (string * Netlist.t Lazy.t) list
+(** Large netlist tiers for the kernel-scaling benchmarks: rnd10k and
+    rnd50k (10k / 50k random reconvergent gates), plus every vendored
+    ISCAS-85-style [.bench] circuit found under [bench/circuits]
+    (override the directory with MDD_CIRCUITS_DIR), parsed through
+    {!Bench_io}.  Not part of {!suite} — the paper tables iterate the
+    suite, and the tiers' size (and their use of random rather than
+    deterministic ATPG patterns) would distort those runs.  Lazy: force
+    only the tier you benchmark. *)
+
+val find_tier : string -> Netlist.t option
+(** Look a tier circuit up by name, forcing its construction. *)

@@ -106,6 +106,103 @@ val detects :
 (** Word whose bit [k] is set iff the fault is detected (any PO differs)
     on pattern [k] of the block. *)
 
+(** {1 PPSFP batch pass}
+
+    Parallel-pattern, batched-fault simulation: where the scalar entry
+    points above walk a fault's fanout cone once per pattern block, a
+    {!batch} carries one delta word {e per block} through a single
+    levelized sweep — the frontier, queued flags and level buckets are
+    paid once per gate event instead of once per (gate event, block).
+    Good and delta words live in transposed net-major slabs so the
+    per-gate block loop is a contiguous scan.
+
+    The pass is exact: for every entry point below the masked PO diff
+    words are bit-identical to the corresponding scalar sweep (and, for
+    multi-site pins, to [Logic_sim.simulate_block_overlay] under the
+    equivalent overrides), so signature-cache entries and paper tables
+    are byte-compatible whichever path produced them. *)
+
+val batching : unit -> bool
+(** Process-wide batching switch: true unless the [MDD_NO_BATCH]
+    environment variable is set (to anything non-empty) or
+    {!set_batching} turned it off.  Hot-path callers ([Explain.build],
+    [Scoring.evaluate_multiplet], the aggressor screens) consult it and
+    fall back to the per-fault scalar sweep when off — the same-binary
+    A/B used by the benchmarks and the regression gate. *)
+
+val set_batching : bool -> unit
+(** Used by the [--no-batch] CLI flag; only ever called to disable. *)
+
+type batch
+(** Batch scratch bound to one simulator and one block group (the
+    good-machine words of every block of a pattern set).  Like {!t},
+    not shareable across domains — give each worker its own.  Scalar
+    calls on the underlying {!t} may interleave with batch sweeps. *)
+
+val prepare_batch :
+  ?share:batch ->
+  t ->
+  blocks:Pattern.block array ->
+  goods:Logic_sim.net_values array ->
+  batch
+(** Build batch scratch for [blocks] (with [goods] their good-machine
+    words, same order).  [?share] reuses the read-only transposed
+    good-value slab of an existing batch over the same netlist and
+    block count — workers share it, each owning only its private delta
+    slab. *)
+
+val batch_sim : batch -> t
+val num_blocks : batch -> int
+
+val batch_po_diffs :
+  batch -> site:Netlist.net -> stuck:bool -> (int -> int -> int -> unit) -> unit
+(** Simulate one stuck-at fault against {e every} block in one sweep:
+    [f bi oi w] for every non-zero masked diff word, blocks ascending,
+    then the site's reachable POs in CSR order — exactly the triple
+    order of the per-block scalar sweep, hence of [Sig_cache] entries.
+    Screens (all-blocks-inactive, no reachable PO) count once per
+    fault, not once per (fault, block). *)
+
+val batch_po_diffs_delta :
+  batch -> site:Netlist.net -> deltas:int array -> (int -> int -> int -> unit) -> unit
+(** Generalisation injecting an arbitrary error word per block
+    ([deltas], indexed by block, masked internally) — the multi-block
+    form of {!iter_po_diffs_delta}, used by the aggressor screens. *)
+
+val batch_multiplet_diffs :
+  batch -> faults:(Netlist.net * bool) list -> (int -> int -> int -> unit) -> unit
+(** Multi-site sweep for multiplet scoring ([faults] lists
+    (site, stuck) pairs; this layer does not know [Fault_list]): every
+    site is pinned — held at its stuck word for a single polarity,
+    flipped ([lnot computed]) when both polarities are present — and
+    the joint faulty machine is propagated once.  [f bi oi w] for every
+    non-zero masked PO diff, blocks ascending then PO positions
+    ascending (all POs, not just reachable ones).  Bit-identical to
+    [Logic_sim.simulate_block_overlay] under
+    [Scoring.overlay_of_multiplet], which holds because pinned sites
+    read no other nets and the netlist is feedback-free, so one
+    levelized pass is the fixpoint. *)
+
+val simulate_batch :
+  batch ->
+  n:int ->
+  fault:(int -> Netlist.net * bool) ->
+  (int -> int -> int -> int -> unit) ->
+  unit
+(** Simulate a slice of [n] faults ([fault i] gives the [i]th as a
+    (site, stuck) pair) against the batch's whole block group:
+    [f i bi oi w] with the triples of each fault in {!batch_po_diffs}
+    order, faults in slice order.  Counts one batch of [n] faults
+    towards {!publish_batch_stats}. *)
+
+val publish_batch_stats : batch -> unit
+(** Fold this batch's tile counts into the global [Obs] counter
+    ["sim.batches"] and the ["sim.faults_per_batch"] distribution (when
+    observability is on), then reset them.  Owners call it once per
+    build, after their parallel region; gate-event and screen totals
+    flow through the underlying simulator's {!publish_stats} as
+    before. *)
+
 val signature :
   t ->
   ?goods:Logic_sim.net_values array ->

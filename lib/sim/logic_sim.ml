@@ -1,12 +1,5 @@
 type net_values = int array
 
-let eval_net t values n =
-  let code = (Netlist.gate_codes t).(n) in
-  if code = Gate.code_input then values.(n)
-  else
-    let off = Netlist.fanin_offsets t in
-    Gate.eval_flat code values (Netlist.fanin_csr t) off.(n) off.(n + 1)
-
 let load_pis t block values =
   let pis = Netlist.pis t in
   Array.iteri (fun i pi -> values.(pi) <- block.Pattern.pi_words.(i)) pis
@@ -62,8 +55,12 @@ let simulate_block_overlay t block overrides =
   | _ ->
     let n = Netlist.num_nets t in
     let values = Array.make n 0 in
-    let by_net = Hashtbl.create (List.length overrides) in
-    List.iter (fun ov -> Hashtbl.replace by_net ov.target ov.behave) overrides;
+    (* Direct-indexed override slot per net (last write wins, as the
+       Hashtbl.replace this replaces did): the sweep below runs over
+       every net up to [max_sweeps] times, so a hash probe per visit
+       was a third of the whole overlay simulation at 50k nets. *)
+    let by_net = Array.make n None in
+    List.iter (fun ov -> by_net.(ov.target) <- Some ov.behave) overrides;
     load_pis t block values;
     (* [driven] holds what each net's driver outputs this sweep, before
        overrides; for PIs that is the applied stimulus.  Resolved wire
@@ -71,25 +68,31 @@ let simulate_block_overlay t block overrides =
     let driven = Array.copy values in
     let value_of m = values.(m) in
     let driven_of m = driven.(m) in
-    let apply n computed =
-      match Hashtbl.find_opt by_net n with
-      | None -> computed
-      | Some behave -> behave ~computed ~value_of ~driven_of ~base:block.Pattern.base
-    in
+    let topo = Netlist.topo_order t in
+    let codes = Netlist.gate_codes t in
+    let csr = Netlist.fanin_csr t in
+    let off = Netlist.fanin_offsets t in
     let changed = ref true in
     let sweeps = ref 0 in
     while !changed && !sweeps < max_sweeps do
       changed := false;
       incr sweeps;
-      Array.iter
-        (fun n ->
-          if not (Netlist.is_pi t n) then driven.(n) <- eval_net t values n;
-          let v = apply n driven.(n) in
-          if v <> values.(n) then begin
-            values.(n) <- v;
-            changed := true
-          end)
-        (Netlist.topo_order t)
+      for i = 0 to Array.length topo - 1 do
+        let m = topo.(i) in
+        let code = codes.(m) in
+        if code <> Gate.code_input then
+          driven.(m) <- Gate.eval_flat code values csr off.(m) off.(m + 1);
+        let v =
+          match by_net.(m) with
+          | None -> driven.(m)
+          | Some behave ->
+            behave ~computed:driven.(m) ~value_of ~driven_of ~base:block.Pattern.base
+        in
+        if v <> values.(m) then begin
+          values.(m) <- v;
+          changed := true
+        end
+      done
     done;
     values
 

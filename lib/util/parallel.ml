@@ -69,13 +69,16 @@ let width domains n =
   let d = min (resolve domains) n in
   if Domain.DLS.get in_worker then 1 else d
 
-(* Run [body i lo hi] for every chunk, on [w] domains (the caller plus
-   [w - 1] spawned workers).  The atomic cursor hands chunks out in
+(* Run [body ~slot i lo hi] for every chunk, on [w] domains (the caller
+   plus [w - 1] spawned workers).  The atomic cursor hands chunks out in
    index order; which domain runs which chunk varies between runs, but
    a disjoint-write body keys its writes on the chunk index, so results
-   never depend on the assignment.  Requires [w >= 2] and at least two
-   chunks. *)
-let run_chunks w chunks body =
+   never depend on the assignment.  [slot] identifies the draining
+   participant (0 = caller, [1 .. nworkers] = spawned workers) so a
+   body may reuse per-participant scratch across the chunks it drains —
+   scratch whose contents must never leak into chunk-keyed results.
+   Requires [w >= 2] and at least two chunks. *)
+let run_chunks_slotted w chunks body =
   let nchunks = Array.length chunks in
   let cursor = Atomic.make 0 in
   let failure = Atomic.make None in
@@ -91,7 +94,7 @@ let run_chunks w chunks body =
       else begin
         drained.(slot) <- drained.(slot) + 1;
         let lo, hi = chunks.(i) in
-        match body i lo hi with
+        match body ~slot i lo hi with
         | () -> ()
         | exception e ->
           (* Keep the first failure; later chunks still run so every
@@ -114,6 +117,8 @@ let run_chunks w chunks body =
     Array.iter (fun n -> Obs.record d_chunks n) drained
   end;
   match Atomic.get failure with Some e -> raise e | None -> ()
+
+let run_chunks w chunks body = run_chunks_slotted w chunks (fun ~slot:_ i lo hi -> body i lo hi)
 
 let chunk_bounds n k =
   let k = min k n in
@@ -202,31 +207,68 @@ let merge_small_chunks weights min_w chunks =
     Array.of_list (List.rev !merged)
   end
 
-let weighted_chunks ?domains ?(chunks_per_domain = 4) ?(min_chunk_weight = 0) ~weights () =
+(* Split every chunk longer than [cap] indices into near-equal pieces.
+   This is how a plan becomes a sequence of bounded *tiles*: a batched
+   simulation chunk is a (fault-batch x block-set) tile whose fault axis
+   must stay small enough for the batch scratch to keep cache residency,
+   independent of how much weight the balancer packed into it. *)
+let split_large_chunks cap chunks =
+  if Array.for_all (fun (lo, hi) -> hi - lo <= cap) chunks then chunks
+  else
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun (lo, hi) ->
+              let len = hi - lo in
+              if len <= cap then [| (lo, hi) |]
+              else
+                Array.map
+                  (fun (a, b) -> (lo + a, lo + b))
+                  (chunk_bounds len ((len + cap - 1) / cap)))
+            chunks))
+
+let weighted_chunks ?domains ?(chunks_per_domain = 4) ?(min_chunk_weight = 0)
+    ?max_chunk_size ~weights () =
   let n = Array.length weights in
   if n = 0 then [||]
   else begin
     let d = width domains n in
-    if d <= 1 then [| (0, n) |]
-    else
-      merge_small_chunks weights min_chunk_weight
-        (chunk_bounds_weighted weights (d * max 1 chunks_per_domain))
+    let base =
+      if d <= 1 then [| (0, n) |]
+      else
+        merge_small_chunks weights min_chunk_weight
+          (chunk_bounds_weighted weights (d * max 1 chunks_per_domain))
+    in
+    match max_chunk_size with
+    | None -> base
+    | Some cap when cap < 1 -> invalid_arg "Parallel.weighted_chunks: max_chunk_size < 1"
+    | Some cap -> split_large_chunks cap base
   end
 
-let run_plan ?domains plan body =
+let plan_slots ?domains plan =
+  match Array.length plan with
+  | 0 -> 0
+  | 1 -> 1
+  | nchunks ->
+    let d = width domains nchunks in
+    if d <= 1 then 1 else min (d - 1) (nchunks - 1) + 1
+
+let run_plan_slotted ?domains plan body =
   match Array.length plan with
   | 0 -> ()
   | 1 ->
     note_serial 1;
     let lo, hi = plan.(0) in
-    body 0 lo hi
+    body ~slot:0 0 lo hi
   | nchunks ->
     let d = width domains nchunks in
     if d <= 1 then begin
       note_serial nchunks;
-      Array.iteri (fun i (lo, hi) -> body i lo hi) plan
+      Array.iteri (fun i (lo, hi) -> body ~slot:0 i lo hi) plan
     end
-    else run_chunks d plan body
+    else run_chunks_slotted d plan body
+
+let run_plan ?domains plan body = run_plan_slotted ?domains plan (fun ~slot:_ i lo hi -> body i lo hi)
 
 let parallel_for_weighted ?domains ?chunks_per_domain ~weights body =
   run_plan ?domains

@@ -69,6 +69,7 @@ val weighted_chunks :
   ?domains:int ->
   ?chunks_per_domain:int ->
   ?min_chunk_weight:int ->
+  ?max_chunk_size:int ->
   weights:int array ->
   unit ->
   (int * int) array
@@ -78,14 +79,25 @@ val weighted_chunks :
     collections that stall every active domain — ruinous when domains
     outnumber cores).  Chunks are non-empty, contiguous, in index
     order, and cover [0, Array.length weights); a single chunk is
-    returned when the effective width is 1.
+    returned when the effective width is 1 and no [max_chunk_size] is
+    given.
 
     [min_chunk_weight] (default 0: off) merges adjacent chunks until
     each carries at least that much weight — so a batch left almost
     empty by an upstream screen (e.g. candidates that hit a warm
     signature cache) collapses to one or two chunks and runs inline
-    instead of paying domain spawns that dwarf the work.  The plan
-    still depends only on the weights, preserving determinism. *)
+    instead of paying domain spawns that dwarf the work.
+
+    [max_chunk_size] (default: unbounded) splits any chunk longer than
+    that many {e indices} into near-equal pieces, after the weight
+    balancing and merging.  This turns the plan into a sequence of
+    bounded tiles: the batched fault simulation in [Explain.build]
+    treats each chunk as a (fault-batch x block-set) tile whose fault
+    axis must stay small, whatever weight the balancer packed into it —
+    and, unlike the pure balancing path, the cap applies even at an
+    effective width of 1, so single-domain runs see the same tile
+    boundaries.  The plan still depends only on the weights and the
+    arguments, preserving determinism. *)
 
 val run_plan : ?domains:int -> (int * int) array -> (int -> int -> int -> unit) -> unit
 (** [run_plan plan body] calls [body i lo hi] once per chunk of a
@@ -93,6 +105,23 @@ val run_plan : ?domains:int -> (int * int) array -> (int -> int -> int -> unit) 
     caller is one of them; a 1-chunk plan runs entirely inline).
     [body] must only write state disjoint per chunk — key the writes on
     the chunk index [i], since chunk-to-domain assignment is dynamic.
+    Pass the same [?domains] given to {!weighted_chunks}. *)
+
+val plan_slots : ?domains:int -> (int * int) array -> int
+(** Number of drain slots {!run_plan_slotted} will use for the plan
+    under the same [?domains]: 1 when the plan runs inline, otherwise
+    the caller plus one per spawned worker.  Callers preallocate one
+    scratch structure per slot before entering the region. *)
+
+val run_plan_slotted :
+  ?domains:int -> (int * int) array -> (slot:int -> int -> int -> int -> unit) -> unit
+(** {!run_plan}, but the body also receives the drain [slot] (in
+    [0 .. plan_slots plan - 1]) of the participant running the chunk.
+    Chunk-to-slot assignment is dynamic and non-deterministic; a body
+    may key {e scratch reuse} on the slot (heavy per-worker state such
+    as the batched simulator's transposed delta slabs is allocated per
+    slot, not per chunk) but must still key all {e result} writes on
+    the chunk index, so the output never depends on the assignment.
     Pass the same [?domains] given to {!weighted_chunks}. *)
 
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array

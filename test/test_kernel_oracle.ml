@@ -174,6 +174,174 @@ let prop_signature_goods_equivalent =
           Array.for_all2 Bitvec.equal a b)
         [ false; true ])
 
+(* --- PPSFP batch pass against the scalar sweep ---------------------- *)
+
+let with_batching b f =
+  let saved = Fault_sim.batching () in
+  Fault_sim.set_batching b;
+  Fun.protect ~finally:(fun () -> Fault_sim.set_batching saved) f
+
+let with_sig_cache b f =
+  let saved = Sig_cache.enabled () in
+  Sig_cache.set_enabled b;
+  Fun.protect ~finally:(fun () -> Sig_cache.set_enabled saved) f
+
+(* [simulate_batch] must produce, fault by fault, exactly the masked
+   diff words of the per-fault per-block scalar sweep — the property
+   that makes batch-filled [Sig_cache] rows replayable by either path.
+   150 patterns gives two full blocks plus a partial one, so the tail
+   mask is exercised. *)
+let prop_simulate_batch_matches_scalar =
+  QCheck.Test.make
+    ~name:"simulate_batch matches per-fault per-block scalar sweep" ~count:20
+    QCheck.(pair (int_range 1 100_000) (int_range 1 17))
+    (fun (seed, nfaults) ->
+      let gates = 40 + (seed mod 120) in
+      let net = Generators.random_logic ~gates ~pis:7 ~pos:5 ~seed in
+      let pats = Pattern.random (Rng.create (seed + 11)) ~npis:7 ~count:150 in
+      let blocks = Array.of_list (Pattern.blocks pats) in
+      let goods = Array.map (Logic_sim.simulate_block net) blocks in
+      let sim = Fault_sim.create net in
+      let b = Fault_sim.prepare_batch sim ~blocks ~goods in
+      let rng = Rng.create (seed + 23) in
+      let faults =
+        Array.init nfaults (fun _ ->
+            (Rng.int rng (Netlist.num_nets net), Rng.int rng 2 = 1))
+      in
+      let npos = Netlist.num_pos net in
+      let nb = Array.length blocks in
+      let got = Array.make_matrix nfaults (nb * npos) 0 in
+      Fault_sim.simulate_batch b ~n:nfaults
+        ~fault:(fun i -> faults.(i))
+        (fun i bi oi w -> got.(i).((bi * npos) + oi) <- w);
+      let want = Array.make_matrix nfaults (nb * npos) 0 in
+      Array.iteri
+        (fun i (site, stuck) ->
+          Array.iteri
+            (fun bi (block : Pattern.block) ->
+              Fault_sim.iter_po_diffs sim ~good:goods.(bi) ~width:block.width
+                ~site ~stuck (fun oi w -> want.(i).((bi * npos) + oi) <- w))
+            blocks)
+        faults;
+      got = want)
+
+(* Same property for the arbitrary-delta entry point (the aggressor
+   screens): one sweep over all blocks vs. one scalar sweep per block. *)
+let prop_batch_delta_matches_scalar =
+  QCheck.Test.make
+    ~name:"batch_po_diffs_delta matches per-block iter_po_diffs_delta"
+    ~count:20
+    QCheck.(pair (int_range 1 100_000) (int_range 0 max_int))
+    (fun (seed, delta_seed) ->
+      let net = Generators.random_logic ~gates:70 ~pis:6 ~pos:4 ~seed in
+      let pats = Pattern.random (Rng.create (seed + 5)) ~npis:6 ~count:140 in
+      let blocks = Array.of_list (Pattern.blocks pats) in
+      let goods = Array.map (Logic_sim.simulate_block net) blocks in
+      let sim = Fault_sim.create net in
+      let b = Fault_sim.prepare_batch sim ~blocks ~goods in
+      let rng = Rng.create delta_seed in
+      let site = Rng.int (Rng.create (seed + 6)) (Netlist.num_nets net) in
+      let deltas =
+        Array.map (fun _ -> Rng.int rng (1 lsl 30)) blocks
+      in
+      let npos = Netlist.num_pos net in
+      let nb = Array.length blocks in
+      let got = Array.make (nb * npos) 0 in
+      Fault_sim.batch_po_diffs_delta b ~site ~deltas (fun bi oi w ->
+          got.((bi * npos) + oi) <- w);
+      let want = Array.make (nb * npos) 0 in
+      Array.iteri
+        (fun bi (block : Pattern.block) ->
+          Fault_sim.iter_po_diffs_delta sim ~good:goods.(bi) ~width:block.width
+            ~site ~delta:deltas.(bi)
+            (fun oi w -> want.((bi * npos) + oi) <- w))
+        blocks;
+      got = want)
+
+(* --- evaluate_multiplet: batched = per-fault ------------------------ *)
+
+(* Whole-multiplet scoring must not depend on which kernel ran it.  Odd
+   seeds pin one site at both polarities, the byzantine (value-flip)
+   overlay case with its own batch code path. *)
+let prop_evaluate_multiplet_batch_identity =
+  QCheck.Test.make
+    ~name:"evaluate_multiplet: batched = per-fault scores" ~count:12
+    QCheck.(pair (int_range 1 100_000) (int_range 1 3))
+    (fun (seed, multiplicity) ->
+      let net, pats, dlog = random_problem seed multiplicity in
+      let rng = Rng.create (seed + 31) in
+      let k = 1 + (seed mod 3) in
+      let faults =
+        List.init k (fun _ ->
+            {
+              Fault_list.site = Rng.int rng (Netlist.num_nets net);
+              stuck = Rng.int rng 2 = 1;
+            })
+      in
+      let faults =
+        if seed mod 2 = 1 then
+          let s = Rng.int rng (Netlist.num_nets net) in
+          { Fault_list.site = s; stuck = true }
+          :: { Fault_list.site = s; stuck = false }
+          :: faults
+        else faults
+      in
+      let score b =
+        with_batching b (fun () ->
+            Scoring.evaluate_multiplet ~domains:1 net pats dlog faults)
+      in
+      score true = score false)
+
+(* --- Explain.build: batched = per-fault, cold shared cache ---------- *)
+
+let explain_equal m1 m2 =
+  let c1 = Explain.candidates m1 and c2 = Explain.candidates m2 in
+  let nfp = Array.length (Explain.failing m1) in
+  c1 = c2
+  && Explain.failing m1 = Explain.failing m2
+  && Explain.num_seeded m1 = Explain.num_seeded m2
+  && Array.for_all Fun.id
+       (Array.mapi
+          (fun c _ ->
+            Bitvec.equal (Explain.covers m1 c) (Explain.covers m2 c)
+            && Explain.mispredict_pass m1 c = Explain.mispredict_pass m2 c
+            && Explain.mispredict_fail m1 c = Explain.mispredict_fail m2 c
+            &&
+            let ok = ref true in
+            for fp = 0 to nfp - 1 do
+              if
+                Explain.matched m1 c fp <> Explain.matched m2 c fp
+                || Explain.spurious m1 c fp <> Explain.spurious m2 c fp
+                || Explain.exact m1 c fp <> Explain.exact m2 c fp
+              then ok := false
+            done;
+            !ok)
+          c1)
+
+(* The same-binary A/B the benchmarks rely on: with a cold shared
+   [Sig_cache] and four domains racing to fill it, the batched build,
+   the per-fault build, and a warm replay of either must produce
+   identical matrices. *)
+let prop_explain_batch_ab_identity =
+  QCheck.Test.make
+    ~name:"Explain.build: batched = per-fault = warm replay (4 domains)"
+    ~count:8
+    QCheck.(pair (int_range 1 100_000) (int_range 1 3))
+    (fun (seed, multiplicity) ->
+      let net, pats, dlog = random_problem seed multiplicity in
+      if Datalog.num_failing dlog = 0 then true
+      else
+        with_sig_cache true (fun () ->
+            let build b =
+              with_batching b (fun () -> Explain.build ~domains:4 net pats dlog)
+            in
+            Sig_cache.clear ();
+            let batched = build true in
+            let warm = build true in
+            Sig_cache.clear ();
+            let scalar = build false in
+            explain_equal batched scalar && explain_equal batched warm))
+
 let suite =
   [
     ( "kernel-oracle",
@@ -182,5 +350,9 @@ let suite =
           prop_delta_injection_matches_overlay;
           prop_explain_matches_naive;
           prop_signature_goods_equivalent;
+          prop_simulate_batch_matches_scalar;
+          prop_batch_delta_matches_scalar;
+          prop_evaluate_multiplet_batch_identity;
+          prop_explain_batch_ab_identity;
         ] );
   ]
