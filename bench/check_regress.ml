@@ -38,7 +38,20 @@
       than the per-fault loop — the perf property the PPSFP pass
       bought.  [Batchbench] interleaves the modes and ratios best
       times, which is what keeps this timing gate stable enough to
-      floor at all. *)
+      floor at all.
+
+   5. Volume-throughput gate.  Request-level scaling of the volume
+      service on rnd2k: draining one warm session with >= 2 worker
+      domains must reach at least [min_volume_throughput] times the
+      1-worker diagnoses/sec on a multi-core host (measured well above
+      1.3x there).  CI runs a single-CPU container, where extra worker
+      domains can only *cost* — spawn, stop-the-world handshakes, and
+      timeslice contention measure ~0.8x at 2 workers — so when the
+      runtime reports one core the gate drops to the documented
+      [min_volume_throughput_1cpu] floor, which only catches the
+      service serializing catastrophically (a lock or a sink
+      bottleneck on the shared session driving 2 workers far below
+      the plain overhead cost). *)
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
 
@@ -51,6 +64,8 @@ type thresholds = {
   max_counter_growth : float;
   min_counter_ratio : float;
   min_batch_speedup : float;
+  min_volume_throughput : float;
+  min_volume_throughput_1cpu : float;
   gated_counters : string list;
 }
 
@@ -76,6 +91,8 @@ let load_thresholds () =
     max_counter_growth = fnum "max_counter_growth";
     min_counter_ratio = fnum "min_counter_ratio";
     min_batch_speedup = fnum "min_batch_speedup";
+    min_volume_throughput = fnum "min_volume_throughput";
+    min_volume_throughput_1cpu = fnum "min_volume_throughput_1cpu";
     gated_counters;
   }
 
@@ -153,15 +170,14 @@ let check_cache_hit_rate t =
     die "check_regress: FAIL — campaign cache hit rate %.3f below floor %.2f" rate
       t.min_cache_hit_rate
 
-(* The timing gate measures the fork-join kernel itself, so the cache is
-   held off for its duration: with a warm cache the timed runs replay
+(* The timing gate measures the fork-join kernel itself, so it runs
+   against cache-off sessions: with a warm cache the timed runs replay
    stored signatures sequentially and the domain count stops mattering. *)
 let check_timing t =
-  let was_cache = Sig_cache.enabled () in
-  Sig_cache.set_enabled false;
-  Sig_cache.clear ();
-  Fun.protect ~finally:(fun () -> Sig_cache.set_enabled was_cache) @@ fun () ->
-  let report = Parbench.run ~circuit:"rnd1k" ~domain_counts:[ 1; 4 ] ~repeats:7 ~with_stats:false () in
+  let report =
+    Parbench.run ~circuit:"rnd1k" ~domain_counts:[ 1; 4 ] ~repeats:7 ~with_stats:false
+      ~cache:false ()
+  in
   let sample d =
     match
       List.find_opt
@@ -214,6 +230,29 @@ let check_batch_speedup t =
         explain_speedup t.min_batch_speedup
   | _ -> die "check_regress: batch bench produced no rnd2k speedup"
 
+(* Request-level scaling of the volume service: one warm rnd2k session,
+   the same die queue drained at 1 and at >= 2 worker domains, speedup
+   as a ratio of best drain times.  The floor is core-count aware: on a
+   single-CPU host extra worker domains are pure overhead (~0.8x at 2
+   workers), so only the relaxed floor can hold there.  The 2% tolerance
+   absorbs run-to-run spawn/handshake jitter. *)
+let check_volume_throughput t =
+  let report = Volumebench.run ~circuit:"rnd2k" ~worker_counts:[ 1; 2; 4 ] () in
+  let speedup = Volumebench.best_speedup report in
+  let cores = Domain.recommended_domain_count () in
+  let floor_ =
+    if cores <= 1 then t.min_volume_throughput_1cpu else t.min_volume_throughput
+  in
+  Printf.printf
+    "check_regress: volume throughput on rnd2k: best multi-worker speedup %.3fx \
+     (floor %.2fx on %d core%s)\n%!"
+    speedup floor_ cores
+    (if cores = 1 then "" else "s");
+  if speedup < floor_ *. 0.98 then
+    die
+      "check_regress: FAIL — volume multi-worker throughput %.3fx below floor %.2fx"
+      speedup floor_
+
 let () =
   if Array.mem "--write-baseline" Sys.argv then write_baseline ()
   else
@@ -226,4 +265,5 @@ let () =
       check_counters t current;
       check_cache_hit_rate t;
       check_timing t;
-      check_batch_speedup t
+      check_batch_speedup t;
+      check_volume_throughput t

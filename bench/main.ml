@@ -12,7 +12,10 @@
      dune exec bench/main.exe -- batch        # PPSFP batch A/B per tier
                                               # (MDD_BENCH_TIER=large for
                                               # rnd10k/rnd50k), writes
-                                              # BENCH_batch.json *)
+                                              # BENCH_batch.json
+     dune exec bench/main.exe -- volume       # volume-service throughput
+                                              # at 1/2/4 workers, writes
+                                              # BENCH_volume.json *)
 
 let trials = ref 10
 let seed = ref 2024
@@ -163,6 +166,19 @@ let run_batch () =
   Batchbench.write_json ~path report;
   Printf.printf "(wrote %s)\n\n%!" path
 
+(* --- Volume-service throughput -------------------------------------- *)
+
+(* Diagnoses/sec of one warm rnd2k session drained at 1/2/4 worker
+   domains — request-level parallelism, the scaling axis volume
+   diagnosis actually ships.  On a single-CPU host expect parity across
+   worker counts; the JSON records the curve either way. *)
+let run_volume () =
+  let report = Volumebench.run ~circuit:"rnd2k" ~worker_counts:[ 1; 2; 4 ] ~repeats:3 () in
+  Table.print (Volumebench.to_table report);
+  let path = "BENCH_volume.json" in
+  Volumebench.write_json ~path report;
+  Printf.printf "(wrote %s)\n\n%!" path
+
 (* --- Table/figure drivers ------------------------------------------ *)
 
 let experiments : (string * (unit -> Table.t)) list =
@@ -211,6 +227,7 @@ let run_experiment name =
     | "micro" -> run_micro ()
     | "parallel" -> run_parallel ()
     | "batch" -> run_batch ()
+    | "volume" -> run_volume ()
     | _ ->
       prerr_endline ("unknown experiment: " ^ name);
       exit 2)
@@ -230,7 +247,7 @@ let () =
   Arg.parse spec (fun name -> selected := name :: !selected) "bench/main.exe [experiments]";
   let to_run =
     match List.rev !selected with
-    | [] -> List.map fst experiments @ [ "micro"; "parallel"; "batch" ]
+    | [] -> List.map fst experiments @ [ "micro"; "parallel"; "batch"; "volume" ]
     | l -> l
   in
   List.iter run_experiment to_run

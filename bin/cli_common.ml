@@ -84,12 +84,36 @@ let no_batch_arg =
   in
   Arg.(value & flag & info [ "no-batch" ] ~doc)
 
-(* Flags only disable: leaving one off keeps the environment-derived
-   default in place, mirroring [apply_domains]. *)
-let apply_prune_cache ~no_prune ~no_cache ~no_batch =
-  if no_prune then Explain.set_pruning false;
-  if no_cache then Sig_cache.set_enabled false;
-  if no_batch then Fault_sim.set_batching false
+(* The MDD_NO_PRUNE / MDD_NO_CACHE / MDD_NO_BATCH environment switches
+   are resolved here, once, into a [Session.config] record — nothing in
+   lib/ reads them.  Flags only disable: leaving one off keeps the
+   environment-derived default in place, mirroring [apply_domains]. *)
+let env_off name =
+  match Sys.getenv_opt name with None | Some "" -> false | Some _ -> true
+
+let session_config ~no_prune ~no_cache ~no_batch ~domains =
+  {
+    Session.default_config with
+    Session.prune = not (no_prune || env_off "MDD_NO_PRUNE");
+    cache = not (no_cache || env_off "MDD_NO_CACHE");
+    batch = not (no_batch || env_off "MDD_NO_BATCH");
+    domains;
+  }
+
+(* Resolved-configuration metadata for `--stats` reports: read back from
+   the config record the run actually used, never re-derived from the
+   environment. *)
+let config_meta (c : Session.config) =
+  [
+    ("prune", if c.Session.prune then "on" else "off");
+    ("cache", if c.Session.cache then "on" else "off");
+    ("batch", if c.Session.batch then "on" else "off");
+    ( "domains",
+      string_of_int
+        (match c.Session.domains with
+        | Some d -> d
+        | None -> Parallel.default_domains ()) );
+  ]
 
 (* Pattern source: an explicit file, or the in-repo ATPG flow. *)
 let patterns_arg =

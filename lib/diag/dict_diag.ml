@@ -16,40 +16,30 @@ type t = {
 let flavour t = t.flavour
 let num_entries t = List.length t.entries
 
-let build flavour net pats =
+let build_session flavour session =
+  let net = Session.netlist session in
+  let pats = Session.patterns session in
   let collapsed = Fault_list.collapse net in
-  let sim = Fault_sim.create net in
   let npatterns = Pattern.count pats in
-  (* Entry signatures share the cross-phase cache (keyed by class
-     representative, exactly the faults enumerated here); the uncached
-     path keeps the one shared good-machine pass. *)
-  let cache = if Sig_cache.enabled () then Some (Sig_cache.for_problem net pats) else None in
-  let goods =
-    match cache with
-    | Some c -> Sig_cache.goods c
-    | None ->
-      Array.of_list (List.map (Logic_sim.simulate_block net) (Pattern.blocks pats))
-  in
+  (* All entry signatures in one pass: cache hits replay (keyed by class
+     representative, exactly the faults enumerated here), misses fill
+     through the session's PPSFP slabs rather than per-fault cone
+     walks — dictionary construction is the most signature-hungry
+     consumer in the repo. *)
+  let faults = Array.of_list (Fault_list.representatives collapsed) in
+  let triples = Session.fault_triples session faults in
   let entries =
-    List.map
-      (fun fault ->
-        let signature =
-          match cache with
-          | Some c ->
-            Sig_cache.signature_of_triples c
-              (Sig_cache.lookup c sim ~site:fault.Fault_list.site
-                 ~stuck:fault.Fault_list.stuck)
-          | None ->
-            Fault_sim.signature sim ~goods pats ~site:fault.Fault_list.site
-              ~stuck:fault.Fault_list.stuck
-        in
+    List.init (Array.length faults) (fun i ->
+        let fault = faults.(i) in
+        let signature = Session.signature_of_triples session triples.(i) in
         let detect = Bitvec.create npatterns in
         Array.iter (fun po_bits -> Bitvec.union_into ~dst:detect po_bits) signature;
         let full = match flavour with Full_response -> signature | Pass_fail -> [||] in
         { fault; full; detect })
-      (Fault_list.representatives collapsed)
   in
   { flavour; npatterns; npos = Netlist.num_pos net; entries }
+
+let build flavour net pats = build_session flavour (Session.create net pats)
 
 let size_bits t =
   let per_entry =

@@ -21,7 +21,13 @@ type t
 (** A built dictionary, bound to the circuit and test set it was
     simulated with. *)
 
+val build_session : flavour -> Session.t -> t
+(** Build against a warm session: entry signatures resolve through
+    {!Session.fault_triples} (cache replay + batched miss fill). *)
+
 val build : flavour -> Netlist.t -> Pattern.t -> t
+(** One-shot convenience over {!build_session} (transient default
+    session per call). *)
 
 val flavour : t -> flavour
 

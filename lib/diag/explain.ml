@@ -12,17 +12,8 @@ let c_pos_pruned = Obs.counter "po_reach.pos_pruned"
 let c_screened = Obs.counter "prune.screened_inactive"
 let c_class_merged = Obs.counter "prune.class_merged"
 
-(* Process-wide pruning switch, mirroring [Sig_cache.set_enabled]:
-   on unless MDD_NO_PRUNE is set; the --no-prune CLI flag and the
-   ?prune argument override per call. *)
-let prune_on =
-  Atomic.make
-    (match Sys.getenv_opt "MDD_NO_PRUNE" with None | Some "" -> true | Some _ -> false)
-
-let pruning () = Atomic.get prune_on
-let set_pruning b = Atomic.set prune_on b
-
 type t = {
+  session : Session.t;
   net : Netlist.t;
   dlog : Datalog.t;
   candidates : Fault_list.fault array;
@@ -38,6 +29,7 @@ type t = {
   nfail_pos : int array; (* failing-pattern -> #failing POs *)
 }
 
+let session t = t.session
 let netlist t = t.net
 let datalog t = t.dlog
 let candidates t = t.candidates
@@ -126,7 +118,7 @@ let tbuf_push b v =
   b.buf.(b.len) <- v;
   b.len <- b.len + 1
 
-let build ?domains ?prune ?cache net pats dlog =
+let build_session session dlog =
   Obs.phase "explain-build" @@ fun () ->
   (* Sub-phases (nested spans, see [Obs]): prep = seeding, screening,
      class collapse, lookup tables and the chunk plan; sim = the
@@ -134,8 +126,8 @@ let build ?domains ?prune ?cache net pats dlog =
      warm-row matrix fill.  On warm-cache rebuilds sim is empty and the
      split shows where the remaining time lives. *)
   let sp_prep = Obs.span_begin "explain.prep" in
-  let prune = match prune with Some p -> p | None -> pruning () in
-  let use_cache = match cache with Some c -> c | None -> Sig_cache.enabled () in
+  let net = Session.netlist session in
+  let { Session.prune; batch = use_batch; domains; _ } = Session.config session in
   let seeded = seed_candidates net dlog in
   let num_seeded = Array.length seeded in
   let observations = Datalog.observations dlog in
@@ -153,18 +145,14 @@ let build ?domains ?prune ?cache net pats dlog =
       obs_of.((fp_of_pattern.(ob.pattern) * npos) + ob.po) <- i)
     observations;
   let nfail_pos = Array.map (fun p -> List.length (Datalog.failing_pos dlog p)) failing in
-  (* Good-machine words and per-pattern failing flags of every block,
-     computed once and shared read-only by all workers; likewise the
-     PO-reachability screen.  With the cache on, the goods come from the
-     shared per-problem instance instead of a private resimulation. *)
-  let blocks = Array.of_list (Pattern.blocks pats) in
+  (* Good-machine words, pattern blocks and the PO-reachability screen
+     all come precomputed from the session, shared read-only by all
+     workers; the cache instance (when the session holds one) is the
+     shared per-problem memo. *)
+  let blocks = Session.blocks session in
   let nblocks = Array.length blocks in
-  let scache = if use_cache then Some (Sig_cache.for_problem net pats) else None in
-  let goods =
-    match scache with
-    | Some sc -> Sig_cache.goods sc
-    | None -> Array.map (fun b -> Logic_sim.simulate_block net b) blocks
-  in
+  let scache = Session.cache session in
+  let goods = Session.goods session in
   let fail_masks =
     Array.map
       (fun (block : Pattern.block) ->
@@ -302,7 +290,7 @@ let build ?domains ?prune ?cache net pats dlog =
         incr nmiss
     done);
   let miss = Array.of_list !miss in
-  let reach = Po_reach.compute net in
+  let reach = Session.reach session in
   (* Cost-weighted chunking over the *miss* rows: a row's simulation
      cost scales with its fanout cone, proxied by reachable-PO count
      times remaining depth.  Uniform index ranges pack all the cheap
@@ -338,7 +326,6 @@ let build ?domains ?prune ?cache net pats dlog =
      the scalar path and with every [Sig_cache] entry.  The tile cap
      bounds the fault axis so per-batch working sets stay cache-sized
      (and so single-domain runs still tile). *)
-  let use_batch = Fault_sim.batching () in
   let batch_tile = 512 in
   let plan =
     if use_batch then
@@ -389,7 +376,7 @@ let build ?domains ?prune ?cache net pats dlog =
           else spurious.(!cur_ro + fp) <- spurious.(!cur_ro + fp) + 1
       in
       if not use_batch then begin
-        (* Per-fault scalar fallback ([--no-batch] / MDD_NO_BATCH): one
+        (* Per-fault scalar fallback ([config.batch] off, the [--no-batch] A/B): one
            cone walk per (fault, block), as before the PPSFP pass. *)
         let on_po oi d =
           any := !any lor d;
@@ -587,6 +574,7 @@ let build ?domains ?prune ?cache net pats dlog =
     Obs.add c_pos_pruned (!pruned * nblocks)
   end;
   {
+    session;
     net;
     dlog;
     candidates;
@@ -601,6 +589,23 @@ let build ?domains ?prune ?cache net pats dlog =
     mispredict_pass;
     nfail_pos;
   }
+
+(* One-shot entry: wrap the problem in a transient session.  Costs what
+   the pre-session build cost (goods via the shared cache registry or a
+   private resimulation, a fresh PO-reach computation) — long-running
+   callers create a [Session.t] once and use [build_session]. *)
+let build ?domains ?prune ?cache ?batch net pats dlog =
+  let d = Session.default_config in
+  let config =
+    {
+      Session.prune = Option.value prune ~default:d.Session.prune;
+      cache = Option.value cache ~default:d.Session.cache;
+      batch = Option.value batch ~default:d.Session.batch;
+      domains;
+      cache_mb = d.Session.cache_mb;
+    }
+  in
+  build_session (Session.create ~config net pats) dlog
 
 let find_candidate t f =
   let n = Array.length t.candidates in

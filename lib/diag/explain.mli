@@ -18,32 +18,47 @@
 
 type t
 
-val build : ?domains:int -> ?prune:bool -> ?cache:bool -> Netlist.t -> Pattern.t -> Datalog.t -> t
-(** One pass of seeding + pruning + simulation, partitioned by candidate
-    range over [domains] OCaml domains ({!Parallel}'s default when
-    omitted).  The matrix is bit-identical for every domain count.
+val build_session : Session.t -> Datalog.t -> t
+(** One pass of seeding + pruning + simulation against a prebuilt
+    {!Session.t}, partitioned by candidate range over the session's
+    domain count ({!Parallel}'s default when unset).  The matrix is
+    bit-identical for every domain count and for every
+    prune/cache/batch combination of the session config.
 
-    With [prune] (default {!pruning}) two exactness-preserving prunes
-    shrink the simulated pool before any fault simulation runs: the
-    {e activation screen} drops candidates whose stuck value equals the
-    good value on every failing pattern (they flip no PO on any failing
-    pattern, so they cover nothing and are never selectable), and
+    With [config.prune] two exactness-preserving prunes shrink the
+    simulated pool before any fault simulation runs: the {e activation
+    screen} drops candidates whose stuck value equals the good value on
+    every failing pattern (they flip no PO on any failing pattern, so
+    they cover nothing and are never selectable), and
     {e equivalence-class collapse} ({!Fault_list.collapse}) simulates
     one representative per structural class and shares its matrix row
     with every member.  Screened candidates leave {!candidates};
     class members remain individually listed and indirect to the shared
     row.  Neither prune can change a diagnosis (DESIGN.md §10).
 
-    With [cache] (default [Sig_cache.enabled]) per-row signatures are
+    When the session holds a cache instance, per-row signatures are
     probed in, and on miss recorded into, the cross-phase
     [Sig_cache] — warm rows replay without simulation, and only the
-    misses enter the fork-join plan. *)
+    misses enter the fork-join plan (batched through
+    {!Fault_sim.simulate_batch} tiles under [config.batch]). *)
 
-val pruning : unit -> bool
-val set_pruning : bool -> unit
-(** Process-wide default for [?prune]; initialised to on unless the
-    [MDD_NO_PRUNE] environment variable is a non-empty value.  The
-    [--no-prune] CLI flag calls [set_pruning false]. *)
+val build :
+  ?domains:int ->
+  ?prune:bool ->
+  ?cache:bool ->
+  ?batch:bool ->
+  Netlist.t ->
+  Pattern.t ->
+  Datalog.t ->
+  t
+(** One-shot convenience over {!build_session}: wraps the problem in a
+    transient session whose config is {!Session.default_config} with
+    the given overrides.  Equivalent output; pays session construction
+    (goods, PO reach) per call. *)
+
+val session : t -> Session.t
+(** The session the matrix was built against — downstream phases pull
+    the shared goods, cache and config from here. *)
 
 val netlist : t -> Netlist.t
 val datalog : t -> Datalog.t

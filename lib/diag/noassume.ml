@@ -165,10 +165,14 @@ let greedy_cover config m =
 let refine config m pats chosen covers =
   let net = Explain.netlist m in
   let dlog = Explain.datalog m in
+  let session = Explain.session m in
+  let goods = Session.goods session in
+  let batch = (Session.config session).Session.batch in
   let cand = Explain.candidates m in
   let faults_of ids = List.map (fun c -> cand.(c)) ids in
   let score_of ids =
-    Scoring.evaluate_multiplet ?domains:config.domains net pats dlog (faults_of ids)
+    Scoring.evaluate_multiplet ?domains:config.domains ~goods ~batch net pats dlog
+      (faults_of ids)
   in
   let steps = ref 0 in
   let current = ref chosen in
@@ -267,13 +271,16 @@ type good_cache = {
   good_at : fp:int -> Netlist.net -> bool; (* value on a failing pattern *)
 }
 
-let build_good_cache net pats failing =
+let build_good_cache session failing =
   let fp_of_pattern = Hashtbl.create (Array.length failing) in
   Array.iteri (fun i p -> Hashtbl.add fp_of_pattern p i) failing;
-  (* Good words come from the shared per-problem cache when it is on —
-     the explanation matrix already computed them. *)
-  let goods = Sig_cache.goods_for net pats in
-  let blocks = List.mapi (fun i b -> (b, goods.(i))) (Pattern.blocks pats) in
+  (* Good words come straight from the session — the explanation matrix
+     already shares them. *)
+  let goods = Session.goods session in
+  let blocks =
+    List.mapi (fun i b -> (b, goods.(i)))
+      (Array.to_list (Session.blocks session))
+  in
   let slot_of_fp = Array.make (max 1 (Array.length failing)) (0, 0) in
   List.iteri
     (fun bi (block, _) ->
@@ -345,7 +352,7 @@ let infer_aggressors config m cache site members covers =
        observed failure the hypothesis does not reproduce is a miss
        whether or not the output differs at all, so the miss count is
        the observation total minus the explained bits. *)
-    let use_batch = Fault_sim.batching () in
+    let use_batch = (Session.config (Explain.session m)).Session.batch in
     let batch =
       if use_batch then
         Some (Fault_sim.prepare_batch sim ~blocks:blocks_arr ~goods:words_arr)
@@ -421,11 +428,11 @@ let infer_aggressors config m cache site members covers =
     List.filteri (fun i _ -> i < max_aggressors) (List.map snd ranked)
   end
 
-let build_callouts config m pats chosen covers =
+let build_callouts config m _pats chosen covers =
   let cand = Explain.candidates m in
   let members = List.map (fun c -> (c, cand.(c))) chosen in
   let sites = List.sort_uniq compare (List.map (fun (_, f) -> f.Fault_list.site) members) in
-  let cache = build_good_cache (Explain.netlist m) pats (Explain.failing m) in
+  let cache = build_good_cache (Explain.session m) (Explain.failing m) in
   let callouts =
     List.map
       (fun site ->
@@ -468,6 +475,7 @@ let validate_bridges config m pats multiplet callouts score =
   else begin
     let net = Explain.netlist m in
     let dlog = Explain.datalog m in
+    let goods = Session.goods (Explain.session m) in
     let current_score = ref score in
     let callouts =
       List.map
@@ -494,7 +502,7 @@ let validate_bridges config m pats multiplet callouts score =
                       Defect.Bridge { victim = callout.site; aggressor = a; kind }
                     in
                     let s =
-                      Scoring.evaluate ?domains:config.domains net pats dlog
+                      Scoring.evaluate ?domains:config.domains ~goods net pats dlog
                         (rest_overlay @ Defect.overlay bridge)
                     in
                     if
@@ -544,7 +552,12 @@ let diagnose_matrix ?(config = default_config) m pats =
     if config.validate && chosen <> [] then refine config m pats chosen covers
     else
       let faults = List.map (fun c -> (Explain.candidates m).(c)) chosen in
-      (chosen, Scoring.evaluate_multiplet ?domains:config.domains net pats dlog faults, 0)
+      let session = Explain.session m in
+      ( chosen,
+        Scoring.evaluate_multiplet ?domains:config.domains
+          ~goods:(Session.goods session)
+          ~batch:(Session.config session).Session.batch net pats dlog faults,
+        0 )
   in
   let cand = Explain.candidates m in
   let multiplet =
@@ -563,9 +576,18 @@ let diagnose_matrix ?(config = default_config) m pats =
     refinement_steps = steps;
   }
 
+let diagnose_session ?config session dlog =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> { default_config with domains = (Session.config session).Session.domains }
+  in
+  let m = Explain.build_session session dlog in
+  diagnose_matrix ~config m (Session.patterns session)
+
 let diagnose ?(config = default_config) net pats dlog =
-  let m = Explain.build ?domains:config.domains net pats dlog in
-  diagnose_matrix ~config m pats
+  let scfg = { Session.default_config with Session.domains = config.domains } in
+  diagnose_session ~config (Session.create ~config:scfg net pats) dlog
 
 let callout_nets r =
   let sites = List.map (fun c -> c.site) r.callouts in

@@ -67,7 +67,15 @@ type result = {
   refinement_steps : int;  (** Accepted drop/swap moves. *)
 }
 
+val diagnose_session : ?config:config -> Session.t -> Datalog.t -> result
+(** Full pipeline against a prebuilt (warm) session.  When [config] is
+    omitted, {!default_config} with the session's domain count is used.
+    This is the volume-service entry point: one shared session, many
+    datalogs. *)
+
 val diagnose : ?config:config -> Netlist.t -> Pattern.t -> Datalog.t -> result
+(** One-shot convenience over {!diagnose_session}: builds a transient
+    session ({!Session.default_config} with [config.domains]) per call. *)
 
 val diagnose_matrix : ?config:config -> Explain.t -> Pattern.t -> result
 (** Variant reusing a prebuilt explanation matrix (the campaign harness

@@ -86,16 +86,20 @@ let parallel_grain_blocks = 64
 let c_evaluations = Obs.counter "scoring.evaluations"
 let c_blocks_scored = Obs.counter "scoring.blocks_scored"
 
-let evaluate ?domains net pats dlog overlay =
+let evaluate ?domains ?goods net pats dlog overlay =
   let blocks = Array.of_list (Pattern.blocks pats) in
   if Obs.enabled () then begin
     Obs.incr c_evaluations;
     Obs.add c_blocks_scored (Array.length blocks)
   end;
   (* The refinement loop re-evaluates hundreds of multiplets against one
-     test set; the good half of each block comes from the shared
-     per-problem cache so only the overlay side is resimulated. *)
-  let goods = Sig_cache.goods_for net pats in
+     test set; session-threaded callers pass the shared good words so
+     only the overlay side is resimulated. *)
+  let goods =
+    match goods with
+    | Some g -> g
+    | None -> Array.map (fun b -> Logic_sim.simulate_block net b) blocks
+  in
   let domains = if Array.length blocks < parallel_grain_blocks then Some 1 else domains in
   Parallel.map_reduce ?domains
     ~map:(fun i -> score_block net dlog overlay goods.(i) blocks.(i))
@@ -148,13 +152,17 @@ type batch_scratch = {
 let scratch_key : batch_scratch list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
-let get_scratch net pats =
+let get_scratch ?goods net pats =
   let r = Domain.DLS.get scratch_key in
   match List.find_opt (fun sc -> sc.s_net == net && sc.s_pats == pats) !r with
   | Some sc -> sc
   | None ->
     let blocks = Array.of_list (Pattern.blocks pats) in
-    let goods = Sig_cache.goods_for net pats in
+    let goods =
+      match goods with
+      | Some g -> g
+      | None -> Array.map (fun b -> Logic_sim.simulate_block net b) blocks
+    in
     let sim = Fault_sim.create net in
     let sc =
       {
@@ -198,11 +206,10 @@ let prep_dlog sc dlog npos =
     sc.s_totobs <- !tot;
     sc.s_dlog <- Some dlog
 
-let evaluate_multiplet ?domains net pats dlog faults =
-  if not (Fault_sim.batching ()) then
-    evaluate ?domains net pats dlog (overlay_of_multiplet faults)
+let evaluate_multiplet ?domains ?goods ?(batch = true) net pats dlog faults =
+  if not batch then evaluate ?domains ?goods net pats dlog (overlay_of_multiplet faults)
   else begin
-    let sc = get_scratch net pats in
+    let sc = get_scratch ?goods net pats in
     let npos = Datalog.npos dlog in
     prep_dlog sc dlog npos;
     if Obs.enabled () then begin

@@ -33,11 +33,19 @@ val compare_score : score -> score -> int
     explained. *)
 
 val evaluate :
-  ?domains:int -> Netlist.t -> Pattern.t -> Datalog.t -> Logic_sim.override list -> score
+  ?domains:int ->
+  ?goods:Logic_sim.net_values array ->
+  Netlist.t ->
+  Pattern.t ->
+  Datalog.t ->
+  Logic_sim.override list ->
+  score
 (** Simulate the overlay over the whole set and score it, one pattern
     block at a time across [domains] OCaml domains ({!Parallel}'s
     default when omitted); the score is identical for every domain
-    count. *)
+    count.  [goods] supplies the precomputed good-machine words of
+    every block (in [Pattern.blocks] order — session-threaded callers
+    pass [Session.goods]); omitted, they are resimulated here. *)
 
 val overlay_of_multiplet : Fault_list.fault list -> Logic_sim.override list
 (** A site appearing with one polarity becomes a stuck override; a site
@@ -47,7 +55,18 @@ val overlay_of_multiplet : Fault_list.fault list -> Logic_sim.override list
     other and the multiplet could never explain both directions. *)
 
 val evaluate_multiplet :
-  ?domains:int -> Netlist.t -> Pattern.t -> Datalog.t -> Fault_list.fault list -> score
-(** [evaluate] of {!overlay_of_multiplet}. *)
+  ?domains:int ->
+  ?goods:Logic_sim.net_values array ->
+  ?batch:bool ->
+  Netlist.t ->
+  Pattern.t ->
+  Datalog.t ->
+  Fault_list.fault list ->
+  score
+(** [evaluate] of {!overlay_of_multiplet}.  With [batch] (the default)
+    the multiplet is scored by one PPSFP delta-propagation sweep
+    ({!Fault_sim.batch_multiplet_diffs}) instead of a full overlay
+    resimulation — identical score by construction; [~batch:false] is
+    the same-binary A/B the benches use. *)
 
 val pp : Format.formatter -> score -> unit

@@ -1,0 +1,192 @@
+(* The session: one warm engine context per (netlist, pattern set)
+   problem, threaded through every diagnosis phase.
+
+   Before this module existed, the prune/cache/batch choices lived in
+   process-global [Atomic] switches and each phase re-derived the shared
+   read-only state (good-machine words, PO reachability) on its own.
+   That shape cannot serve volume diagnosis — thousands of datalogs
+   against one design, one diagnosis per domain — where the per-problem
+   state must be computed once and shared, and two concurrent diagnoses
+   must be able to run under different configurations without racing on
+   globals.  A [t] is created once, is immutable, and is safe to share
+   across domains: every field is either frozen after [create] or
+   internally synchronised ([Sig_cache]). *)
+
+type config = {
+  prune : bool;  (* activation screen + class collapse in [Explain] *)
+  cache : bool;  (* cross-phase signature cache *)
+  batch : bool;  (* PPSFP batched fault simulation *)
+  domains : int option;  (* kernel fan-out; [None] = Parallel default *)
+  cache_mb : int;  (* per-instance [Sig_cache] budget *)
+}
+
+let default_config =
+  {
+    prune = true;
+    cache = true;
+    batch = true;
+    domains = None;
+    cache_mb = Sig_cache.default_budget_mb ();
+  }
+
+type t = {
+  net : Netlist.t;
+  pats : Pattern.t;
+  blocks : Pattern.block array;
+  goods : Logic_sim.net_values array;
+  reach : Po_reach.t;
+  cache : Sig_cache.t option;
+  sink : Obs.sink option;
+  config : config;
+}
+
+let create ?(config = default_config) ?sink net pats =
+  let cache =
+    if config.cache then Some (Sig_cache.for_problem ~budget_mb:config.cache_mb net pats)
+    else None
+  in
+  let blocks, goods =
+    match cache with
+    | Some c -> (Sig_cache.blocks c, Sig_cache.goods c)
+    | None ->
+      let blocks = Array.of_list (Pattern.blocks pats) in
+      (blocks, Array.map (fun b -> Logic_sim.simulate_block net b) blocks)
+  in
+  { net; pats; blocks; goods; reach = Po_reach.compute net; cache; sink; config }
+
+let netlist t = t.net
+let patterns t = t.pats
+let blocks t = t.blocks
+let goods t = t.goods
+let reach t = t.reach
+let cache t = t.cache
+let sink t = t.sink
+let config t = t.config
+
+let with_sink t f = match t.sink with None -> f () | Some sk -> Obs.with_sink sk f
+
+(* --- Batched signature retrieval ------------------------------------ *)
+
+(* Per-fault signature triples for a whole fault list: probe the cache,
+   then fill every miss through [Fault_sim.simulate_batch] slabs instead
+   of one scalar cone walk per (fault, block).  This is the cold-path
+   fix for the baselines ([Single_diag], [Dict_diag]) and anything else
+   that wants many signatures at once — on a cold 50k-gate problem the
+   per-fault path was the residual hot spot.  Triples arrive in the
+   canonical scalar order, so cache entries stay byte-compatible with
+   both paths. *)
+
+(* Tile cap on the fault axis, matching [Explain.build]: bounds the
+   per-batch working set so slabs stay cache-sized. *)
+let batch_tile = 512
+
+type tbuf = { mutable buf : int array; mutable len : int }
+
+let tbuf_push b v =
+  if b.len = Array.length b.buf then begin
+    let bigger = Array.make (2 * max 64 b.len) 0 in
+    Array.blit b.buf 0 bigger 0 b.len;
+    b.buf <- bigger
+  end;
+  b.buf.(b.len) <- v;
+  b.len <- b.len + 1
+
+let fault_triples t (faults : Fault_list.fault array) =
+  let n = Array.length faults in
+  let out = Array.make n [||] in
+  let hit = Array.make n false in
+  (match t.cache with
+  | None -> ()
+  | Some c ->
+    for i = 0 to n - 1 do
+      let f = faults.(i) in
+      match Sig_cache.find c (Sig_cache.key ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck) with
+      | Some triples ->
+        out.(i) <- triples;
+        hit.(i) <- true
+      | None -> ()
+    done);
+  let miss = ref [] in
+  for i = n - 1 downto 0 do
+    if not hit.(i) then miss := i :: !miss
+  done;
+  let miss = Array.of_list !miss in
+  let nmiss = Array.length miss in
+  if nmiss > 0 then begin
+    let sim = Fault_sim.create ~reach:t.reach t.net in
+    if t.config.batch then begin
+      let b = Fault_sim.prepare_batch sim ~blocks:t.blocks ~goods:t.goods in
+      let tb = { buf = Array.make 4096 0; len = 0 } in
+      let starts = Array.make nmiss 0 in
+      let lo = ref 0 in
+      while !lo < nmiss do
+        let hi = min nmiss (!lo + batch_tile) in
+        let base = !lo in
+        let cur = ref (-1) in
+        let close j = if j >= 0 then out.(miss.(j)) <- Array.sub tb.buf starts.(j) (tb.len - starts.(j)) in
+        Fault_sim.simulate_batch b ~n:(hi - base)
+          ~fault:(fun j ->
+            let f = faults.(miss.(base + j)) in
+            (f.Fault_list.site, f.Fault_list.stuck))
+          (fun j bi oi w ->
+            let j = base + j in
+            if j <> !cur then begin
+              close !cur;
+              cur := j;
+              starts.(j) <- tb.len
+            end;
+            tbuf_push tb bi;
+            tbuf_push tb oi;
+            tbuf_push tb w);
+        close !cur;
+        lo := hi
+      done;
+      if Obs.enabled () then Fault_sim.publish_batch_stats b
+    end
+    else begin
+      (* Scalar fallback, the pre-batch shape: one cone walk per
+         (fault, block). *)
+      let tb = { buf = Array.make 4096 0; len = 0 } in
+      Array.iter
+        (fun i ->
+          let f = faults.(i) in
+          tb.len <- 0;
+          Array.iteri
+            (fun bi (block : Pattern.block) ->
+              Fault_sim.iter_po_diffs sim ~good:t.goods.(bi) ~width:block.Pattern.width
+                ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck (fun oi d ->
+                  tbuf_push tb bi;
+                  tbuf_push tb oi;
+                  tbuf_push tb d))
+            t.blocks;
+          out.(i) <- Array.sub tb.buf 0 tb.len)
+        miss
+    end;
+    if Obs.enabled () then Fault_sim.publish_stats sim;
+    match t.cache with
+    | None -> ()
+    | Some c ->
+      Array.iter
+        (fun i ->
+          let f = faults.(i) in
+          Sig_cache.store c
+            (Sig_cache.key ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck)
+            out.(i))
+        miss
+  end;
+  out
+
+(* Expansion mirror of [Sig_cache.signature_of_triples], usable when the
+   session runs cache-off (no instance to delegate to). *)
+let signature_of_triples t triples =
+  let npos = Netlist.num_pos t.net in
+  let npatterns = Pattern.count t.pats in
+  let signature = Array.init npos (fun _ -> Bitvec.create npatterns) in
+  let i = ref 0 in
+  while !i < Array.length triples do
+    let bi = triples.(!i) and oi = triples.(!i + 1) and d = triples.(!i + 2) in
+    let base = t.blocks.(bi).Pattern.base in
+    Logic.iter_bits d (fun bit -> Bitvec.set signature.(oi) (base + bit) true);
+    i := !i + 3
+  done;
+  signature

@@ -1,0 +1,81 @@
+(** One warm engine context per (netlist, pattern set) problem.
+
+    A session bundles everything a diagnosis needs beyond the datalog:
+    the netlist and its CSR views, the test set, the good-machine words
+    of every pattern block, the PO-reachability screen, the cross-phase
+    signature cache, an optional per-session {!Obs.sink}, and the
+    resolved configuration record.  Every phase — {!Explain},
+    {!Scoring}, {!Noassume}, {!Single_diag}, {!Dict_diag},
+    {!Slat_diag} — reads its prune/cache/batch/domains choices from the
+    session instead of process-global switches, so two concurrent
+    diagnoses can run under different configurations without touching
+    shared mutable state.
+
+    Sharing contract (DESIGN.md §11): a [t] is immutable after
+    {!create} and safe to share across domains.  [net], [pats],
+    [blocks], [goods] and [reach] are frozen; the cache instance is
+    internally sharded and domain-safe; per-diagnosis scratch (fault
+    simulators, batch slabs, triple buffers) is never stored here — each
+    call allocates its own.  The volume service creates one session and
+    drains thousands of datalogs against it, one diagnosis per domain. *)
+
+type config = {
+  prune : bool;
+      (** Exactness-preserving candidate prunes in {!Explain.build}. *)
+  cache : bool;  (** Hold a {!Sig_cache} instance for this problem. *)
+  batch : bool;  (** PPSFP batched fault simulation on the hot paths. *)
+  domains : int option;
+      (** Kernel fan-out inside one diagnosis; [None] uses
+          {!Parallel.default_domains}.  Results are identical for every
+          value. *)
+  cache_mb : int;  (** Signature-cache budget for this problem. *)
+}
+
+val default_config : config
+(** Everything on, [domains = None],
+    [cache_mb = Sig_cache.default_budget_mb ()].  The disabling
+    environment switches are {e not} read here — the CLI layer resolves
+    them once into a config record ([Cli_common.session_config]). *)
+
+type t
+
+val create : ?config:config -> ?sink:Obs.sink -> Netlist.t -> Pattern.t -> t
+(** Build the context: obtain (or create) the shared cache instance via
+    {!Sig_cache.for_problem} when [config.cache], compute the goods
+    (from the cache instance when available) and the PO-reachability
+    screen.  Creation is the expensive, once-per-problem step; every
+    diagnosis against the session then starts warm. *)
+
+val netlist : t -> Netlist.t
+val patterns : t -> Pattern.t
+
+val blocks : t -> Pattern.block array
+(** The pattern blocks, in [Pattern.blocks] order.  Frozen. *)
+
+val goods : t -> Logic_sim.net_values array
+(** Good-machine words of every block.  Frozen; shared read-only. *)
+
+val reach : t -> Po_reach.t
+(** Per-net reachable-PO screen.  Frozen. *)
+
+val cache : t -> Sig_cache.t option
+(** The signature-cache instance; [None] when [config.cache] is off. *)
+
+val sink : t -> Obs.sink option
+val config : t -> config
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Run under the session's sink when it has one ({!Obs.with_sink});
+    plain call otherwise. *)
+
+val fault_triples : t -> Fault_list.fault array -> int array array
+(** Signature triples for every fault, in the canonical
+    [(block, PO, diff-word)] order of {!Fault_sim.iter_po_diffs}.
+    Cache hits replay; misses are simulated through
+    {!Fault_sim.simulate_batch} slabs in bounded tiles (scalar cone
+    walks when [config.batch] is off) and stored back.  This is the
+    batched cold path of the baselines. *)
+
+val signature_of_triples : t -> int array -> Bitvec.t array
+(** Expand one fault's triples into the per-PO, bit-per-pattern shape of
+    {!Fault_sim.signature}. *)

@@ -31,34 +31,23 @@ let score_signature dlog signature =
     spurious_pass = !spurious_pass;
   }
 
-let diagnose ?(keep = 20) net pats dlog =
+let diagnose_session ?(keep = 20) session dlog =
+  let net = Session.netlist session in
   let collapsed = Fault_list.collapse net in
-  let faults = Fault_list.representatives collapsed in
-  let sim = Fault_sim.create net in
-  (* Signatures come from the cross-phase cache when it is on — the
-     explanation matrix (and every earlier campaign trial on this
-     circuit) already simulated most representatives, and this ranking
-     pass warms the rest for later trials.  The cache also supplies the
-     shared good-machine words; the uncached path computes them once for
-     the whole ranking pass instead of once per fault. *)
-  let cache = if Sig_cache.enabled () then Some (Sig_cache.for_problem net pats) else None in
-  let goods =
-    match cache with
-    | Some c -> Sig_cache.goods c
-    | None ->
-      Array.of_list (List.map (Logic_sim.simulate_block net) (Pattern.blocks pats))
-  in
-  let signature_of f =
-    match cache with
-    | Some c ->
-      Sig_cache.signature_of_triples c
-        (Sig_cache.lookup c sim ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck)
-    | None ->
-      Fault_sim.signature sim ~goods pats ~site:f.Fault_list.site
-        ~stuck:f.Fault_list.stuck
-  in
+  let faults = Array.of_list (Fault_list.representatives collapsed) in
+  (* All representative signatures at once: cache hits replay, misses go
+     through the session's PPSFP slabs instead of one scalar cone walk
+     per (fault, block) — the former cold-path hot spot of this
+     baseline.  Warm rows come from the explanation matrix and every
+     earlier trial on this problem. *)
+  let triples = Session.fault_triples session faults in
   let scored =
-    List.map (fun f -> { fault = f; score = score_signature dlog (signature_of f) }) faults
+    List.init (Array.length faults) (fun i ->
+        {
+          fault = faults.(i);
+          score =
+            score_signature dlog (Session.signature_of_triples session triples.(i));
+        })
   in
   let sorted =
     List.sort
@@ -76,6 +65,8 @@ let diagnose ?(keep = 20) net pats dlog =
     in
     let ranking = List.filteri (fun i _ -> i < keep) sorted in
     { best; ranking }
+
+let diagnose ?keep net pats dlog = diagnose_session ?keep (Session.create net pats) dlog
 
 let callout_nets r =
   List.sort_uniq compare (List.map (fun r -> r.fault.Fault_list.site) r.best)

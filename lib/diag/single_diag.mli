@@ -13,9 +13,15 @@ type result = {
   ranking : ranked list;  (** Top [keep] faults, best first. *)
 }
 
-val diagnose : ?keep:int -> Netlist.t -> Pattern.t -> Datalog.t -> result
+val diagnose_session : ?keep:int -> Session.t -> Datalog.t -> result
 (** [keep] bounds the returned ranking (default 20); the full universe is
-    still scored. *)
+    still scored.  Signatures resolve through the session: cache hits
+    replay, misses fill through {!Session.fault_triples} batched slabs
+    and warm the cache for later trials. *)
+
+val diagnose : ?keep:int -> Netlist.t -> Pattern.t -> Datalog.t -> result
+(** One-shot convenience over {!diagnose_session} (transient default
+    session per call). *)
 
 val callout_nets : result -> Netlist.net list
 (** Sites of the best-tied faults. *)

@@ -58,7 +58,12 @@ let diagnose m pats =
     List.map (fun fp -> failing.(fp)) (Bitvec.to_list covered)
   in
   let score =
-    Scoring.evaluate_multiplet (Explain.netlist m) pats (Explain.datalog m) multiplet
+    let session = Explain.session m in
+    Scoring.evaluate_multiplet
+      ?domains:(Session.config session).Session.domains
+      ~goods:(Session.goods session)
+      ~batch:(Session.config session).Session.batch (Explain.netlist m) pats
+      (Explain.datalog m) multiplet
   in
   {
     multiplet;

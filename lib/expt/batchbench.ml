@@ -11,11 +11,11 @@
      together — while changing nothing about what the kernel does per
      pattern block.
 
-   - The signature cache is held off and cleared around the timed runs:
-     with a warm cache the second mode would replay the first mode's
-     stored signatures and the A/B would compare cache lookups, not
-     kernels.  (This also makes the comparison byte-fair: both modes
-     simulate every (fault, block) pair.) *)
+   - Both modes run against cache-off sessions: with a cache the second
+     mode would replay the first mode's stored signatures and the A/B
+     would compare cache lookups, not kernels.  (This also makes the
+     comparison byte-fair: both modes simulate every (fault, block)
+     pair on every run.) *)
 
 type mode = Batched | Per_fault
 
@@ -55,9 +55,8 @@ let median a =
    for the curves. *)
 let time_ab ~repeats f =
   let time mode =
-    Fault_sim.set_batching (mode = Batched);
     let t0 = now_ms () in
-    ignore (Sys.opaque_identity (f ()));
+    ignore (Sys.opaque_identity (f ~batch:(mode = Batched)));
     now_ms () -. t0
   in
   ignore (time Per_fault);
@@ -101,24 +100,27 @@ let default_patterns = 8 * Bitvec.word_bits
 
 let run ?(circuits = [ "rnd1k"; "rnd2k" ]) ?(repeats = 5) ?(patterns = default_patterns)
     ?(multiplicity = 3) ?(seed = 99) () =
-  let was_batch = Fault_sim.batching () in
-  let was_cache = Sig_cache.enabled () in
-  Sig_cache.set_enabled false;
-  Fun.protect ~finally:(fun () ->
-      Fault_sim.set_batching was_batch;
-      Sig_cache.set_enabled was_cache)
-  @@ fun () ->
   let samples =
     List.concat_map
       (fun circuit ->
         let net, pats, dlog = prepare ~circuit ~patterns ~multiplicity ~seed in
-        Sig_cache.clear ();
+        (* One cache-off, single-kernel-domain session per mode; session
+           construction (goods, PO reach) stays outside the timed
+           region, so the A/B isolates the simulation kernels. *)
+        let session batch =
+          Session.create
+            ~config:
+              { Session.default_config with Session.cache = false; batch; domains = Some 1 }
+            net pats
+        in
+        let s_bt = session true and s_pf = session false in
+        let pick ~batch = if batch then s_bt else s_pf in
         let explain_pf, explain_bt =
-          time_ab ~repeats (fun () -> Explain.build ~domains:1 net pats dlog)
+          time_ab ~repeats (fun ~batch -> Explain.build_session (pick ~batch) dlog)
         in
         let config = { Noassume.default_config with domains = Some 1 } in
         let diagnose_pf, diagnose_bt =
-          time_ab ~repeats (fun () -> Noassume.diagnose ~config net pats dlog)
+          time_ab ~repeats (fun ~batch -> Noassume.diagnose_session ~config (pick ~batch) dlog)
         in
         let sample mode (explain_ms, explain_best_ms) (diagnose_ms, diagnose_best_ms) =
           {
@@ -162,7 +164,7 @@ let to_table r =
     Table.create
       ~title:
         (Printf.sprintf
-           "PPSFP batch A/B per tier (%d runs/point, wall clock, 1 domain, cache off)"
+           "PPSFP batch A/B per tier (%d runs/point, wall clock, 1 domain, cache-off sessions)"
            r.repeats)
       [
         ("tier", Table.Left);

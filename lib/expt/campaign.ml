@@ -49,6 +49,16 @@ let run ?(methods = all_methods) ?(config = Noassume.default_config)
   let config =
     if trials > 1 then { config with Noassume.domains = Some 1 } else config
   in
+  (* One warm session for the whole cell: every trial shares the goods,
+     the PO-reach screen and the signature-cache instance (trials differ
+     only in the datalog — exactly the cross-trial reuse the cache
+     exists for).  The session is immutable, so parallel trials share it
+     safely. *)
+  let session =
+    Session.create
+      ~config:{ Session.default_config with Session.domains = config.Noassume.domains }
+      net pats
+  in
   let run_trial trial_rng =
     (* Redraw until the injected combination actually fails the test. *)
     let rec draw attempts redrawn =
@@ -67,7 +77,7 @@ let run ?(methods = all_methods) ?(config = Noassume.default_config)
       (* Score against the defects that left a trace; fully masked ones
          are invisible to any diagnosis. *)
       let defects = Injection.contributing net pats defects in
-      let matrix = Explain.build ?domains:config.Noassume.domains net pats dlog in
+      let matrix = Explain.build_session session dlog in
       let classification = Slat.classify matrix in
       let noassume =
         if methods.run_noassume then begin
@@ -87,7 +97,7 @@ let run ?(methods = all_methods) ?(config = Noassume.default_config)
       in
       let single =
         if methods.run_single then begin
-          let r = Single_diag.diagnose net pats dlog in
+          let r = Single_diag.diagnose_session session dlog in
           Some
             (Metrics.evaluate net ~injected:defects ~callouts:(Single_diag.callout_nets r))
         end

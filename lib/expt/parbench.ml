@@ -79,15 +79,24 @@ let capture_stats ~circuit ~kernel ~domains f =
   report
 
 let run ?(circuit = "rnd1k") ?(domain_counts = [ 1; 2; 4; 8 ]) ?(repeats = 5)
-    ?(multiplicity = 3) ?(seed = 99) ?(with_stats = true) () =
+    ?(multiplicity = 3) ?(seed = 99) ?(with_stats = true) ?(cache = true) () =
   let net, pats, dlog = prepare ~circuit ~multiplicity ~seed in
+  (* Session construction stays inside the timed region — the bench
+     tracks whole-call cost, and the one-shot wrappers pay it too. *)
+  let scfg d = { Session.default_config with Session.cache; domains = Some d } in
   let kernels =
     [
-      ("explain-build", fun d -> ignore (Explain.build ~domains:d net pats dlog));
+      ( "explain-build",
+        fun d ->
+          ignore (Explain.build_session (Session.create ~config:(scfg d) net pats) dlog)
+      );
       ( "diagnose",
         fun d ->
           let config = { Noassume.default_config with domains = Some d } in
-          ignore (Noassume.diagnose ~config net pats dlog) );
+          ignore
+            (Noassume.diagnose_session ~config
+               (Session.create ~config:(scfg d) net pats)
+               dlog) );
     ]
   in
   let samples =
@@ -135,9 +144,7 @@ let campaign_hit_rate ?(circuit = "rnd1k") ?(trials = 4) ?(multiplicity = 3) ?(s
     | Some n -> n
     | None -> invalid_arg ("Parbench: unknown suite circuit " ^ circuit)
   in
-  let was_cache = Sig_cache.enabled () in
   let was_obs = Obs.enabled () in
-  Sig_cache.set_enabled true;
   Sig_cache.clear ();
   Obs.reset ();
   Obs.enable ();
@@ -149,7 +156,6 @@ let campaign_hit_rate ?(circuit = "rnd1k") ?(trials = 4) ?(multiplicity = 3) ?(s
   let hits = counter "cache.hits" and misses = counter "cache.misses" in
   if not was_obs then Obs.disable ();
   Obs.reset ();
-  Sig_cache.set_enabled was_cache;
   let rate =
     if hits + misses = 0 then 0.0 else float_of_int hits /. float_of_int (hits + misses)
   in

@@ -27,12 +27,16 @@ val run :
   ?multiplicity:int ->
   ?seed:int ->
   ?with_stats:bool ->
+  ?cache:bool ->
   unit ->
   report
 (** Defaults: [rnd1k], domain counts [1; 2; 4; 8], 5 repeats, 3 injected
-    defects, seed 99, stats capture on.  Stats capture resets the global
-    [Obs] registry.  Raises [Invalid_argument] on an unknown suite
-    circuit name. *)
+    defects, seed 99, stats capture on, signature cache on.
+    [~cache:false] times cache-off sessions — the regression gate's
+    timing check uses it so the timed kernels simulate instead of
+    replaying warm signatures.  Stats capture resets the global [Obs]
+    registry.  Raises [Invalid_argument] on an unknown suite circuit
+    name. *)
 
 val campaign_hit_rate :
   ?circuit:string ->
@@ -46,9 +50,9 @@ val campaign_hit_rate :
     trials share the circuit and test set, so later trials hit what
     earlier trials simulated.  Deterministic for a fixed seed (parallel
     trials could race on a cold key and count an extra miss); used by the
-    bench regression gate.  Temporarily enables the cache and the [Obs]
-    registry and resets both before returning.  Defaults: [rnd1k],
-    4 trials, multiplicity 3, seed 99. *)
+    bench regression gate.  Clears the cache registry and temporarily
+    enables the [Obs] registry, resetting it before returning.
+    Defaults: [rnd1k], 4 trials, multiplicity 3, seed 99. *)
 
 val to_table : report -> Table.t
 

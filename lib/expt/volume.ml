@@ -1,0 +1,185 @@
+(* Volume diagnosis: one warm session, many die datalogs.
+
+   The production shape of the paper's flow: a tester produces one
+   datalog per failing die, all against one design and one test set.
+   Per-die work (explanation matrix, covering, refinement) is far
+   smaller than per-problem work (goods, PO reach, signature warm-up),
+   so the service loads a [Session.t] once and drains the queue with
+   {e request-level} parallelism — one whole diagnosis per domain, each
+   worker single-domain inside ([Parallel]'s nested calls run inline
+   anyway; pinning the config makes the per-die counters comparable
+   across worker counts).
+
+   Each die runs under a private [Obs.sink], so its run report carries
+   its own counters even with many diagnoses in flight, and the sink is
+   merged into the process registry afterwards so `--stats` totals
+   still add up.  Note the per-die cache.hits/misses split depends on
+   drain order (whoever reaches a cold signature first pays the miss);
+   the rendered diagnosis reports do not — they are byte-identical to
+   single-shot runs of the same die. *)
+
+type die = { name : string; dlog : Datalog.t }
+
+type die_result = {
+  die : string;
+  result : Noassume.result;
+  text : string;  (* rendered Report.render, the canonical output *)
+  report : Run_report.t;  (* per-die counters from the private sink *)
+}
+
+type net_rollup = {
+  net : string;
+  dies_implicated : int;
+  explained_obs : int;
+}
+
+type rollup = { dies : int; diagnosed : int; nets : net_rollup list }
+
+let c_dies = Obs.counter "volume.dies"
+
+let datalog_ext = ".datalog"
+
+let load_dir session dir =
+  let files = Sys.readdir dir in
+  Array.sort compare files;
+  let npatterns = Pattern.count (Session.patterns session) in
+  let npos = Netlist.num_pos (Session.netlist session) in
+  Array.to_list files
+  |> List.filter (fun f -> Filename.check_suffix f datalog_ext)
+  |> List.map (fun f ->
+         let ic = open_in (Filename.concat dir f) in
+         let text = really_input_string ic (in_channel_length ic) in
+         close_in ic;
+         {
+           name = Filename.chop_suffix f datalog_ext;
+           dlog = Datalog.of_text ~npatterns ~npos text;
+         })
+
+let diagnose_die ?config session d =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> { Noassume.default_config with domains = Some 1 }
+  in
+  let sink = Obs.sink () in
+  let result =
+    Obs.with_sink sink (fun () -> Noassume.diagnose_session ~config session d.dlog)
+  in
+  let report = Run_report.capture ~sink ~meta:[ ("die", d.name) ] () in
+  Obs.merge sink;
+  if Obs.enabled () then Obs.incr c_dies;
+  {
+    die = d.name;
+    result;
+    text = Report.render (Session.netlist session) result;
+    report;
+  }
+
+let run ?config ?workers session dies =
+  Array.to_list
+    (Parallel.map_array ?domains:workers
+       (diagnose_die ?config session)
+       (Array.of_list dies))
+
+let rollup session results =
+  let net = Session.netlist session in
+  let tbl : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
+  let bump name obs =
+    match Hashtbl.find_opt tbl name with
+    | Some (dies, tot) ->
+      incr dies;
+      tot := !tot + obs
+    | None -> Hashtbl.add tbl name (ref 1, ref obs)
+  in
+  List.iter
+    (fun r ->
+      (* Per die: each called-out site once with its explained count;
+         confirmed-bridge aggressors count as implicated with no
+         explained observations of their own. *)
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (c : Noassume.callout) ->
+          let name = Netlist.name net c.Noassume.site in
+          if not (Hashtbl.mem seen name) then begin
+            Hashtbl.add seen name ();
+            bump name c.Noassume.explained_obs
+          end)
+        r.result.Noassume.callouts;
+      List.iter
+        (fun n ->
+          let name = Netlist.name net n in
+          if not (Hashtbl.mem seen name) then begin
+            Hashtbl.add seen name ();
+            bump name 0
+          end)
+        (Noassume.callout_nets r.result))
+    results;
+  let nets =
+    Hashtbl.fold
+      (fun net (dies, obs) acc ->
+        { net; dies_implicated = !dies; explained_obs = !obs } :: acc)
+      tbl []
+    |> List.sort (fun a b ->
+           match compare b.dies_implicated a.dies_implicated with
+           | 0 -> (
+             match compare b.explained_obs a.explained_obs with
+             | 0 -> compare a.net b.net
+             | c -> c)
+           | c -> c)
+  in
+  { dies = List.length results; diagnosed = List.length results; nets }
+
+(* --- JSON rendering ------------------------------------------------- *)
+
+let json_of_die r =
+  let s = r.result.Noassume.score in
+  Obs_json.Obj
+    [
+      ("die", Obs_json.Str r.die);
+      ("multiplet_size", Obs_json.Num (float_of_int (List.length r.result.Noassume.multiplet)));
+      ("explained", Obs_json.Num (float_of_int s.Scoring.explained));
+      ("missed", Obs_json.Num (float_of_int s.Scoring.missed));
+      ( "spurious",
+        Obs_json.Num (float_of_int (s.Scoring.spurious_fail + s.Scoring.spurious_pass)) );
+      ("report", Obs_json.Str r.text);
+      (* Deterministic report body (timings off); the cache hit/miss
+         split still depends on drain order — see the module comment. *)
+      ("stats", Run_report.to_obs_json ~timings:false r.report);
+    ]
+
+let die_json r = Obs_json.to_string (json_of_die r) ^ "\n"
+
+let rollup_json ru =
+  let nets =
+    List.map
+      (fun n ->
+        Obs_json.Obj
+          [
+            ("net", Obs_json.Str n.net);
+            ("dies_implicated", Obs_json.Num (float_of_int n.dies_implicated));
+            ("explained_obs", Obs_json.Num (float_of_int n.explained_obs));
+          ])
+      ru.nets
+  in
+  Obs_json.to_string
+    (Obs_json.Obj
+       [
+         ("dies", Obs_json.Num (float_of_int ru.dies));
+         ("diagnosed", Obs_json.Num (float_of_int ru.diagnosed));
+         ("nets", Obs_json.List nets);
+       ])
+  ^ "\n"
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let write_results ~dir session results =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  List.iter
+    (fun r -> write_file (Filename.concat dir (r.die ^ ".json")) (die_json r))
+    results;
+  let ru = rollup session results in
+  write_file (Filename.concat dir "rollup.json") (rollup_json ru);
+  ru

@@ -1,0 +1,165 @@
+(* Volume-throughput bench: diagnoses/second of the volume service at
+   several worker counts, against one warm session.
+
+   Methodology follows [Batchbench]: seeded-random patterns (the bench
+   measures the service loop, not ATPG), wall clock, worker counts
+   interleaved run by run so machine-speed drift lands on every arm
+   equally, and speedups as ratios of best (minimum) drain times —
+   scheduling noise only ever adds time.
+
+   The session and its signature cache are warmed by one untimed drain
+   before any timed run: volume mode's steady state is a warm cache
+   (every die shares the circuit and test set), and a cold first drain
+   would bill one arm for the warm-up misses. *)
+
+type sample = {
+  workers : int;
+  runs : int;
+  median_ms : float;  (* full-queue drain, median over the timed runs *)
+  best_ms : float;  (* minimum over the timed runs *)
+  dps : float;  (* diagnoses per second at the best drain *)
+  speedup_vs_1 : float;  (* best_ms at 1 worker / best_ms here *)
+}
+
+type report = { circuit : string; dies : int; repeats : int; samples : sample list }
+
+let now_ms () = Unix.gettimeofday () *. 1e3
+
+let median a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let find_circuit name =
+  match Generators.find_suite name with
+  | Some n -> n
+  | None -> (
+    match Generators.find_tier name with
+    | Some n -> n
+    | None -> invalid_arg ("Volumebench: unknown circuit or tier " ^ name))
+
+(* Distinct failing datalogs, one per die, drawn from one seeded
+   stream — the same die list for every worker count. *)
+let prepare ~circuit ~patterns ~dies ~multiplicity ~seed =
+  let net = find_circuit circuit in
+  let rng = Rng.create seed in
+  let pats = Pattern.random rng ~npis:(Netlist.num_pis net) ~count:patterns in
+  let expected = Logic_sim.responses net pats in
+  let rec make_dlog attempts =
+    if attempts = 0 then failwith "Volumebench: no failing defect combination found"
+    else begin
+      let defects = Injection.random_defects rng net Injection.default_mix multiplicity in
+      let observed = Injection.observed_responses net pats defects in
+      let dlog = Datalog.of_responses ~expected ~observed in
+      if Datalog.num_failing dlog = 0 then make_dlog (attempts - 1) else dlog
+    end
+  in
+  let queue =
+    List.init dies (fun i ->
+        { Volume.name = Printf.sprintf "die%03d" i; dlog = make_dlog 50 })
+  in
+  (net, pats, queue)
+
+let default_patterns = 4 * Bitvec.word_bits
+
+let run ?(circuit = "rnd2k") ?(worker_counts = [ 1; 2; 4 ]) ?(repeats = 3)
+    ?(dies = 8) ?(patterns = default_patterns) ?(multiplicity = 3) ?(seed = 99) () =
+  let net, pats, queue = prepare ~circuit ~patterns ~dies ~multiplicity ~seed in
+  let session = Session.create net pats in
+  let drain workers =
+    let t0 = now_ms () in
+    ignore (Sys.opaque_identity (Volume.run ~workers session queue));
+    now_ms () -. t0
+  in
+  (* Warm-up drain: fills the signature cache and pays allocation
+     ramp-up outside every timed run. *)
+  ignore (drain 1);
+  let times =
+    Array.of_list (List.map (fun w -> (w, Array.make repeats 0.0)) worker_counts)
+  in
+  for i = 0 to repeats - 1 do
+    Array.iter (fun (w, a) -> a.(i) <- drain w) times
+  done;
+  let best_of a = Array.fold_left min a.(0) a in
+  let base =
+    match Array.find_opt (fun (w, _) -> w = 1) times with
+    | Some (_, a) -> best_of a
+    | None -> (match times with [||] -> nan | _ -> best_of (snd times.(0)))
+  in
+  let samples =
+    Array.to_list
+      (Array.map
+         (fun (w, a) ->
+           let best = best_of a in
+           {
+             workers = w;
+             runs = repeats;
+             median_ms = median a;
+             best_ms = best;
+             dps = float_of_int dies /. (best /. 1e3);
+             speedup_vs_1 = base /. best;
+           })
+         times)
+  in
+  { circuit; dies; repeats; samples }
+
+(* Best request-level speedup over the multi-worker arms — the number
+   the regression gate floors. *)
+let best_speedup r =
+  List.fold_left
+    (fun acc s -> if s.workers > 1 then max acc s.speedup_vs_1 else acc)
+    0.0 r.samples
+
+let to_table r =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Volume diagnosis throughput on %s (%d dies/drain, %d runs/point, warm \
+            session)"
+           r.circuit r.dies r.repeats)
+      [
+        ("workers", Table.Right);
+        ("median ms", Table.Right);
+        ("best ms", Table.Right);
+        ("diagnoses/s", Table.Right);
+        ("speedup vs 1", Table.Right);
+      ]
+  in
+  List.iter
+    (fun s ->
+      Table.add_row table
+        [
+          Table.cell_int s.workers;
+          Table.cell_float ~decimals:1 s.median_ms;
+          Table.cell_float ~decimals:1 s.best_ms;
+          Table.cell_float ~decimals:2 s.dps;
+          Table.cell_float ~decimals:2 s.speedup_vs_1;
+        ])
+    r.samples;
+  table
+
+let json_of_report r =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "{\n  \"circuit\": %S,\n  \"dies\": %d,\n  \"repeats\": %d,\n"
+    r.circuit r.dies r.repeats;
+  Printf.bprintf buf "  \"best_multiworker_speedup\": %.4f,\n  \"samples\": [\n"
+    (best_speedup r);
+  List.iteri
+    (fun i s ->
+      Printf.bprintf buf
+        "    {\"workers\": %d, \"runs\": %d, \"median_ms\": %.3f, \"best_ms\": %.3f, \
+         \"diagnoses_per_sec\": %.4f, \"speedup_vs_1\": %.4f}%s\n"
+        s.workers s.runs s.median_ms s.best_ms s.dps s.speedup_vs_1
+        (if i = List.length r.samples - 1 then "" else ","))
+    r.samples;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write_json ~path r =
+  let oc = open_out path in
+  output_string oc (json_of_report r);
+  close_out oc

@@ -1,0 +1,37 @@
+(** Volume-throughput bench: diagnoses/second of {!Volume.run} at
+    several worker counts against one warm session (warm signature
+    cache — the service's steady state).  Worker counts are interleaved
+    run by run and speedups divide best (minimum) drain times, the same
+    noise defenses as {!Batchbench}. *)
+
+type sample = {
+  workers : int;
+  runs : int;
+  median_ms : float;  (** Full-queue drain, median of the timed runs. *)
+  best_ms : float;  (** Minimum of the timed runs. *)
+  dps : float;  (** Diagnoses per second at the best drain. *)
+  speedup_vs_1 : float;  (** [best_ms] at 1 worker over [best_ms] here. *)
+}
+
+type report = { circuit : string; dies : int; repeats : int; samples : sample list }
+
+val run :
+  ?circuit:string ->
+  ?worker_counts:int list ->
+  ?repeats:int ->
+  ?dies:int ->
+  ?patterns:int ->
+  ?multiplicity:int ->
+  ?seed:int ->
+  unit ->
+  report
+(** Defaults: rnd2k, workers 1/2/4, 3 runs/point, 8 dies of
+    multiplicity 3, 4 blocks of seeded-random patterns, seed 99. *)
+
+val best_speedup : report -> float
+(** Best [speedup_vs_1] over the multi-worker arms — what the
+    regression gate floors ([min_volume_throughput]). *)
+
+val to_table : report -> Table.t
+val json_of_report : report -> string
+val write_json : path:string -> report -> unit

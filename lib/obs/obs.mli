@@ -24,8 +24,10 @@
     standing in for a monotonic clock is acceptable here. *)
 
 val enabled : unit -> bool
-(** True when statistics collection is on.  Initialised from the
-    [MDD_STATS] environment variable (any non-empty value enables). *)
+(** True when statistics collection is on: either the process-global
+    flag (initialised from the [MDD_STATS] environment variable — any
+    non-empty value enables) or a sink bound in the current domain (see
+    {!with_sink}). *)
 
 val enable : unit -> unit
 val disable : unit -> unit
@@ -104,3 +106,37 @@ type snapshot = {
     the counter inventory. *)
 
 val snapshot : unit -> snapshot
+
+(** {1 Per-session sinks}
+
+    A sink is a private registry.  While one is bound in the current
+    domain (via {!with_sink}), every counter increment, dist sample and
+    completed span routes into the sink instead of the process-global
+    tables — so concurrent diagnoses, each under its own sink, don't
+    interleave their statistics.  Binding is domain-local: nested
+    fork-join workers spawned {e inside} a sink-bound region do not
+    inherit the binding (their batch-granularity publishes land in the
+    global registry as before); the volume service runs one whole
+    diagnosis per domain, where everything executes in the binding
+    domain and the sink captures it all. *)
+
+type sink
+
+val sink : unit -> sink
+(** A fresh, empty sink. *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** [with_sink sk f] binds [sk] as the current domain's sink for the
+    duration of [f] (restoring any previous binding after), and turns
+    {!enabled} on for that domain regardless of the global flag. *)
+
+val merge : sink -> unit
+(** Fold the sink's tallies into the process-global registry and empty
+    the sink.  Counter values add, dists combine count/sum/min/max,
+    phase aggregates add.  Call after the sink's region has finished. *)
+
+val sink_snapshot : sink -> snapshot
+(** Snapshot the sink's private tallies.  Like {!snapshot}, the counter
+    and dist listings enumerate every {e globally registered} name
+    (zero-valued when the sink never saw it), so per-session reports
+    keep the inventory property. *)

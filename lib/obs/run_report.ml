@@ -1,7 +1,10 @@
 type t = { meta : (string * string) list; snap : Obs.snapshot }
 
-let capture ?(meta = []) () =
-  { meta = List.sort compare meta; snap = Obs.snapshot () }
+let capture ?sink ?(meta = []) () =
+  let snap =
+    match sink with Some sk -> Obs.sink_snapshot sk | None -> Obs.snapshot ()
+  in
+  { meta = List.sort compare meta; snap }
 
 (* Hand-rolled printing rather than an [Obs_json.t] round-trip: the
    report promises byte-stable layout (one entry per line, fixed float

@@ -24,8 +24,10 @@
 
 type t = { meta : (string * string) list; snap : Obs.snapshot }
 
-val capture : ?meta:(string * string) list -> unit -> t
-(** Snapshot the current {!Obs} registry.  [meta] is sorted by key. *)
+val capture : ?sink:Obs.sink -> ?meta:(string * string) list -> unit -> t
+(** Snapshot the current {!Obs} registry — or, with [?sink], that
+    sink's private tallies ({!Obs.sink_snapshot}).  [meta] is sorted by
+    key. *)
 
 val to_json : ?timings:bool -> t -> string
 (** Pretty-printed (one entry per line), trailing newline.  [timings]

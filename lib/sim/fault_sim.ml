@@ -62,18 +62,6 @@ let c_gate_events = Obs.counter "sim.gate_events"
 let c_batches = Obs.counter "sim.batches"
 let d_faults_per_batch = Obs.dist "sim.faults_per_batch"
 
-(* Process-wide batching switch, mirroring [Explain.set_pruning] /
-   [Sig_cache.set_enabled]: on unless MDD_NO_BATCH is set; the
-   [--no-batch] CLI flag only ever disables.  Callers on the diagnosis
-   hot paths consult it to fall back to the per-fault single-block
-   sweep, keeping a same-binary A/B for the PPSFP pass. *)
-let batch_on =
-  Atomic.make
-    (match Sys.getenv_opt "MDD_NO_BATCH" with None | Some "" -> true | Some _ -> false)
-
-let batching () = Atomic.get batch_on
-let set_batching b = Atomic.set batch_on b
-
 let publish_stats t =
   if Obs.enabled () then begin
     Obs.add c_faults_simulated t.n_propagates;

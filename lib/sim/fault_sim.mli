@@ -122,17 +122,6 @@ val detects :
     equivalent overrides), so signature-cache entries and paper tables
     are byte-compatible whichever path produced them. *)
 
-val batching : unit -> bool
-(** Process-wide batching switch: true unless the [MDD_NO_BATCH]
-    environment variable is set (to anything non-empty) or
-    {!set_batching} turned it off.  Hot-path callers ([Explain.build],
-    [Scoring.evaluate_multiplet], the aggressor screens) consult it and
-    fall back to the per-fault scalar sweep when off — the same-binary
-    A/B used by the benchmarks and the regression gate. *)
-
-val set_batching : bool -> unit
-(** Used by the [--no-batch] CLI flag; only ever called to disable. *)
-
 type batch
 (** Batch scratch bound to one simulator and one block group (the
     good-machine words of every block of a pattern set).  Like {!t},

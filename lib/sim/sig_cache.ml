@@ -1,29 +1,29 @@
 (* Sharded, bounded-memory memo of per-fault PO-diff triples, shared by
    every diagnosis phase that fault-simulates against one (netlist,
    pattern set) problem.  See the interface for the concurrency and
-   determinism contract. *)
+   determinism contract.
+
+   Whether caching happens at all is no longer a process-global switch:
+   a phase that holds a [t] caches, a phase handed no instance simulates
+   directly.  The session layer ([Diag.Session]) makes that choice once
+   per engine from its config record. *)
 
 let c_hits = Obs.counter "cache.hits"
 let c_misses = Obs.counter "cache.misses"
 let c_evictions = Obs.counter "cache.evictions"
 
-let on =
-  Atomic.make
-    (match Sys.getenv_opt "MDD_NO_CACHE" with None | Some "" -> true | Some _ -> false)
+(* Live instance count in the registry below.  Kept as a counter (with
+   negative deltas on eviction) so run reports show how many problems
+   the service era keeps warm at once. *)
+let c_instances = Obs.counter "cache.instances"
 
-let enabled () = Atomic.get on
-let set_enabled b = Atomic.set on b
-
-(* Word budget across all shards of one instance.  Entries are int
-   arrays, so the budget is an honest (if approximate) bound on the
+(* Default word budget across all shards of one instance.  Entries are
+   int arrays, so the budget is an honest (if approximate) bound on the
    cache's major-heap footprint. *)
-let budget_words =
-  let mb =
-    match Option.bind (Sys.getenv_opt "MDD_SIG_CACHE_MB") int_of_string_opt with
-    | Some mb when mb >= 1 -> mb
-    | Some _ | None -> 64
-  in
-  mb * 1024 * 1024 / 8
+let default_budget_mb () =
+  match Option.bind (Sys.getenv_opt "MDD_SIG_CACHE_MB") int_of_string_opt with
+  | Some mb when mb >= 1 -> mb
+  | Some _ | None -> 64
 
 let nshards = 16
 
@@ -45,6 +45,7 @@ type t = {
   blocks : Pattern.block array;
   goods : Logic_sim.net_values array;
   shards : shard array;
+  budget_words : int;
 }
 
 let goods t = t.goods
@@ -54,44 +55,39 @@ let shard_of t k = t.shards.(k mod nshards)
 let cost triples = Array.length triples + entry_overhead
 
 let find t k =
-  if not (enabled ()) then None
-  else begin
-    let s = shard_of t k in
-    Mutex.lock s.lock;
-    let r = Hashtbl.find_opt s.tbl k in
-    Mutex.unlock s.lock;
-    if Obs.enabled () then Obs.incr (match r with Some _ -> c_hits | None -> c_misses);
-    r
-  end
+  let s = shard_of t k in
+  Mutex.lock s.lock;
+  let r = Hashtbl.find_opt s.tbl k in
+  Mutex.unlock s.lock;
+  if Obs.enabled () then Obs.incr (match r with Some _ -> c_hits | None -> c_misses);
+  r
 
 let store t k triples =
-  if enabled () then begin
-    let s = shard_of t k in
-    let budget = budget_words / nshards in
-    Mutex.lock s.lock;
-    (match Hashtbl.find_opt s.tbl k with
-    | Some old ->
-      (* Overwrite (same value recomputed by a racing domain): keep the
-         key's queue position, swap the payload accounting. *)
-      s.words <- s.words - cost old + cost triples;
-      Hashtbl.replace s.tbl k triples
-    | None ->
-      Hashtbl.replace s.tbl k triples;
-      Queue.push k s.order;
-      s.words <- s.words + cost triples);
-    let evicted = ref 0 in
-    while s.words > budget && not (Queue.is_empty s.order) do
-      let victim = Queue.pop s.order in
-      match Hashtbl.find_opt s.tbl victim with
-      | None -> ()
-      | Some v ->
-        Hashtbl.remove s.tbl victim;
-        s.words <- s.words - cost v;
-        incr evicted
-    done;
-    Mutex.unlock s.lock;
-    if !evicted > 0 && Obs.enabled () then Obs.add c_evictions !evicted
-  end
+  let s = shard_of t k in
+  let budget = t.budget_words / nshards in
+  Mutex.lock s.lock;
+  (match Hashtbl.find_opt s.tbl k with
+  | Some old ->
+    (* Overwrite (same value recomputed by a racing domain): keep the
+       key's queue position, swap the payload accounting. *)
+    s.words <- s.words - cost old + cost triples;
+    Hashtbl.replace s.tbl k triples
+  | None ->
+    Hashtbl.replace s.tbl k triples;
+    Queue.push k s.order;
+    s.words <- s.words + cost triples);
+  let evicted = ref 0 in
+  while s.words > budget && not (Queue.is_empty s.order) do
+    let victim = Queue.pop s.order in
+    match Hashtbl.find_opt s.tbl victim with
+    | None -> ()
+    | Some v ->
+      Hashtbl.remove s.tbl victim;
+      s.words <- s.words - cost v;
+      incr evicted
+  done;
+  Mutex.unlock s.lock;
+  if !evicted > 0 && Obs.enabled () then Obs.add c_evictions !evicted
 
 (* Triples of one fault over the whole set, in the canonical order
    (blocks ascending, POs ascending within a block). *)
@@ -145,7 +141,8 @@ let registry_lock = Mutex.create ()
 let registry : t list ref = ref []
 let max_instances = 4
 
-let create net pats =
+let create ?budget_mb net pats =
+  let mb = match budget_mb with Some mb when mb >= 1 -> mb | _ -> default_budget_mb () in
   let blocks = Array.of_list (Pattern.blocks pats) in
   {
     net;
@@ -155,29 +152,31 @@ let create net pats =
     shards =
       Array.init nshards (fun _ ->
           { lock = Mutex.create (); tbl = Hashtbl.create 256; order = Queue.create (); words = 0 });
+    budget_words = mb * 1024 * 1024 / 8;
   }
 
-let for_problem net pats =
+let for_problem ?budget_mb net pats =
   Mutex.lock registry_lock;
   let t =
     match List.find_opt (fun t -> t.net == net && t.pats == pats) !registry with
     | Some t ->
-      (* Move to front: the registry is tiny, so LRU by reinsertion. *)
+      (* LRU by reinsertion: the registry is tiny, a list suffices. *)
       registry := t :: List.filter (fun u -> u != t) !registry;
       t
     | None ->
-      let t = create net pats in
+      let t = create ?budget_mb net pats in
+      let before = List.length !registry in
       registry := t :: List.filteri (fun i _ -> i < max_instances - 1) !registry;
+      let after = List.length !registry in
+      if Obs.enabled () then Obs.add c_instances (after - before);
       t
   in
   Mutex.unlock registry_lock;
   t
 
-let goods_for net pats =
-  if enabled () then goods (for_problem net pats)
-  else Array.of_list (List.map (Logic_sim.simulate_block net) (Pattern.blocks pats))
-
 let clear () =
   Mutex.lock registry_lock;
+  let n = List.length !registry in
   registry := [];
-  Mutex.unlock registry_lock
+  Mutex.unlock registry_lock;
+  if n > 0 && Obs.enabled () then Obs.add c_instances (-n)

@@ -24,14 +24,17 @@
     count.  Only the hit/miss {e counters} depend on scheduling when
     several domains race on a cold key.
 
-    Memory is bounded: each shard evicts in insertion (FIFO) order once
-    its share of the word budget (default 64 MB, [MDD_SIG_CACHE_MB]
-    overrides) is exceeded.  Eviction only ever costs a re-simulation.
+    Memory is bounded per instance: each shard evicts in insertion
+    (FIFO) order once its share of the word budget (default 64 MB,
+    [MDD_SIG_CACHE_MB] overrides the default; [?budget_mb] overrides
+    per instance) is exceeded.  Eviction only ever costs a
+    re-simulation.
 
-    The cache is on by default; the [MDD_NO_CACHE] environment variable
-    (any non-empty value) or {!set_enabled} turns it off — callers then
-    fall back to direct simulation.  Counters (DESIGN.md §9):
-    ["cache.hits"], ["cache.misses"], ["cache.evictions"]. *)
+    There is no process-wide on/off switch: a phase that holds an
+    instance caches, a phase handed none simulates directly.
+    [Diag.Session] makes that choice once per engine from its config
+    record.  Counters (DESIGN.md §9): ["cache.hits"],
+    ["cache.misses"], ["cache.evictions"], ["cache.instances"]. *)
 
 type t
 (** One per-(netlist, pattern-set) cache instance.  Instances live in a
@@ -39,12 +42,15 @@ type t
     netlist and pattern set, so repeated {!for_problem} calls — e.g.
     campaign trials sharing one circuit — share one instance. *)
 
-val for_problem : Netlist.t -> Pattern.t -> t
+val for_problem : ?budget_mb:int -> Netlist.t -> Pattern.t -> t
 (** The instance for this problem, created on first use.  Creation
     computes the good-machine words of every block eagerly (they are
-    shared by all phases through {!goods}).  The registry keeps the
-    most recently used instances and drops the oldest beyond a small
-    cap. *)
+    shared by all phases through {!goods}).  The registry holds at most
+    four instances, evicted least-recently-used: a {!for_problem} hit
+    refreshes an instance's recency, a miss that creates a fifth
+    instance drops the stalest.  The live count is the
+    ["cache.instances"] counter.  [budget_mb] only applies when this
+    call creates the instance. *)
 
 val goods : t -> Logic_sim.net_values array
 (** Good-machine words of every block, in [Pattern.blocks] order.
@@ -53,23 +59,18 @@ val goods : t -> Logic_sim.net_values array
 val blocks : t -> Pattern.block array
 (** The pattern blocks, in [Pattern.blocks] order. *)
 
-val goods_for : Netlist.t -> Pattern.t -> Logic_sim.net_values array
-(** The shared good-machine words when the cache is {!enabled}; a fresh
-    uncached computation otherwise. *)
-
 val key : site:Netlist.net -> stuck:bool -> int
 (** Canonical bucket key of a stuck fault ([2*site + stuck]).  Callers
     that collapse equivalence classes should key by the class
     representative so all phases share one entry per class. *)
 
 val find : t -> int -> int array option
-(** Cached triples for a key, bumping the hit/miss counters.  Returns
-    [None] (a miss) when the cache is disabled. *)
+(** Cached triples for a key, bumping the hit/miss counters. *)
 
 val store : t -> int -> int array -> unit
 (** Insert (or overwrite) a key's triples, evicting FIFO-oldest entries
-    of the shard past its budget share.  No-op when disabled.  The
-    array is owned by the cache afterwards; do not mutate it. *)
+    of the shard past its budget share.  The array is owned by the
+    cache afterwards; do not mutate it. *)
 
 val lookup : t -> Fault_sim.t -> site:Netlist.net -> stuck:bool -> int array
 (** [find] under {!key}, computing the triples with the given simulator
@@ -80,11 +81,9 @@ val signature_of_triples : t -> int array -> Bitvec.t array
 (** Expand triples into the per-PO, bit-per-pattern signature shape of
     {!Fault_sim.signature}. *)
 
-val enabled : unit -> bool
-val set_enabled : bool -> unit
-(** Process-wide switch; initialised to on unless [MDD_NO_CACHE] is a
-    non-empty value.  Turning the cache off does not drop stored
-    entries; use {!clear} for that. *)
+val default_budget_mb : unit -> int
+(** The instance budget used when [?budget_mb] is not given: 64, or
+    [MDD_SIG_CACHE_MB] when set to a positive integer. *)
 
 val clear : unit -> unit
 (** Drop every instance from the registry (entries become unreachable).

@@ -176,16 +176,6 @@ let prop_signature_goods_equivalent =
 
 (* --- PPSFP batch pass against the scalar sweep ---------------------- *)
 
-let with_batching b f =
-  let saved = Fault_sim.batching () in
-  Fault_sim.set_batching b;
-  Fun.protect ~finally:(fun () -> Fault_sim.set_batching saved) f
-
-let with_sig_cache b f =
-  let saved = Sig_cache.enabled () in
-  Sig_cache.set_enabled b;
-  Fun.protect ~finally:(fun () -> Sig_cache.set_enabled saved) f
-
 (* [simulate_batch] must produce, fault by fault, exactly the masked
    diff words of the per-fault per-block scalar sweep — the property
    that makes batch-filled [Sig_cache] rows replayable by either path.
@@ -286,10 +276,7 @@ let prop_evaluate_multiplet_batch_identity =
           :: faults
         else faults
       in
-      let score b =
-        with_batching b (fun () ->
-            Scoring.evaluate_multiplet ~domains:1 net pats dlog faults)
-      in
+      let score b = Scoring.evaluate_multiplet ~domains:1 ~batch:b net pats dlog faults in
       score true = score false)
 
 (* --- Explain.build: batched = per-fault, cold shared cache ---------- *)
@@ -330,17 +317,19 @@ let prop_explain_batch_ab_identity =
     (fun (seed, multiplicity) ->
       let net, pats, dlog = random_problem seed multiplicity in
       if Datalog.num_failing dlog = 0 then true
-      else
-        with_sig_cache true (fun () ->
-            let build b =
-              with_batching b (fun () -> Explain.build ~domains:4 net pats dlog)
-            in
-            Sig_cache.clear ();
-            let batched = build true in
-            let warm = build true in
-            Sig_cache.clear ();
-            let scalar = build false in
-            explain_equal batched scalar && explain_equal batched warm))
+      else begin
+        (* Each build wraps the problem in a transient cache-on session;
+           [Sig_cache.for_problem] hands consecutive builds the shared
+           registry instance, so the second batched build replays warm. *)
+        let build b = Explain.build ~domains:4 ~cache:true ~batch:b net pats dlog in
+        Sig_cache.clear ();
+        let batched = build true in
+        let warm = build true in
+        Sig_cache.clear ();
+        let scalar = build false in
+        Sig_cache.clear ();
+        explain_equal batched scalar && explain_equal batched warm
+      end)
 
 let suite =
   [

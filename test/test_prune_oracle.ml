@@ -16,20 +16,13 @@ let random_problem seed multiplicity =
   let dlog = Datalog.of_responses ~expected ~observed in
   (net, pats, dlog)
 
-(* Run [f] with the process-wide prune/cache switches forced to the given
-   values, from a cold cache, restoring everything afterwards.  The suite
-   shares one process: leaked global state would poison other tests. *)
-let with_modes ~prune ~cache f =
-  let was_prune = Explain.pruning () and was_cache = Sig_cache.enabled () in
-  Explain.set_pruning prune;
-  Sig_cache.set_enabled cache;
+(* A session with the given prune/cache choices, from a cold cache:
+   clearing the registry first means [Session.create] builds a fresh
+   cache instance instead of adopting a warm shared one.  No process
+   state to restore — the switches live in the session config now. *)
+let cold_session ~prune ~cache net pats =
   Sig_cache.clear ();
-  Fun.protect
-    ~finally:(fun () ->
-      Explain.set_pruning was_prune;
-      Sig_cache.set_enabled was_cache;
-      Sig_cache.clear ())
-    f
+  Session.create ~config:{ Session.default_config with Session.prune; cache } net pats
 
 let prop_noassume_report_identical =
   QCheck.Test.make
@@ -40,11 +33,12 @@ let prop_noassume_report_identical =
       let net, pats, dlog = random_problem seed multiplicity in
       if Datalog.num_failing dlog = 0 then true
       else begin
-        let report () =
-          Report.render net (Noassume.diagnose net pats dlog)
+        let report ~prune ~cache =
+          let session = cold_session ~prune ~cache net pats in
+          Report.render net (Noassume.diagnose_session session dlog)
         in
-        let fast = with_modes ~prune:true ~cache:true report in
-        let slow = with_modes ~prune:false ~cache:false report in
+        let fast = report ~prune:true ~cache:true in
+        let slow = report ~prune:false ~cache:false in
         String.equal fast slow
       end)
 
@@ -103,17 +97,17 @@ let prop_single_and_slat_reports_identical =
       let net, pats, dlog = random_problem seed multiplicity in
       if Datalog.num_failing dlog = 0 then true
       else begin
-        let single () = Report.render_single net (Single_diag.diagnose net pats dlog) in
-        let slat () =
-          let m = Explain.build net pats dlog in
+        let single ~cache =
+          let session = cold_session ~prune:true ~cache net pats in
+          Report.render_single net (Single_diag.diagnose_session session dlog)
+        in
+        let slat ~prune ~cache =
+          let session = cold_session ~prune ~cache net pats in
+          let m = Explain.build_session session dlog in
           Report.render_slat net (Slat_diag.diagnose m pats)
         in
-        String.equal
-          (with_modes ~prune:true ~cache:true single)
-          (with_modes ~prune:true ~cache:false single)
-        && String.equal
-             (with_modes ~prune:true ~cache:true slat)
-             (with_modes ~prune:false ~cache:false slat)
+        String.equal (single ~cache:true) (single ~cache:false)
+        && String.equal (slat ~prune:true ~cache:true) (slat ~prune:false ~cache:false)
       end)
 
 (* Several domains race on one cold shared cache, each running a full
@@ -123,24 +117,26 @@ let prop_single_and_slat_reports_identical =
 let test_concurrent_shared_cache () =
   let net, pats, dlog = random_problem 4242 3 in
   Alcotest.(check bool) "problem has failures" true (Datalog.num_failing dlog > 0);
-  let diagnose () =
+  let diagnose session () =
     Report.render net
-      (Noassume.diagnose
+      (Noassume.diagnose_session
          ~config:{ Noassume.default_config with domains = Some 1 }
-         net pats dlog)
+         session dlog)
   in
-  let reference = with_modes ~prune:true ~cache:true diagnose in
-  with_modes ~prune:true ~cache:true (fun () ->
-      for round = 1 to 3 do
-        Sig_cache.clear ();
-        let workers = Array.init 4 (fun _ -> Domain.spawn diagnose) in
-        Array.iteri
-          (fun i d ->
-            Alcotest.(check string)
-              (Printf.sprintf "round %d worker %d" round i)
-              reference (Domain.join d))
-          workers
-      done)
+  let reference = diagnose (cold_session ~prune:true ~cache:true net pats) () in
+  for round = 1 to 3 do
+    (* A fresh session per round re-creates the cache instance cold, so
+       the four domains race on an empty shared cache every time. *)
+    let session = cold_session ~prune:true ~cache:true net pats in
+    let workers = Array.init 4 (fun _ -> Domain.spawn (diagnose session)) in
+    Array.iteri
+      (fun i d ->
+        Alcotest.(check string)
+          (Printf.sprintf "round %d worker %d" round i)
+          reference (Domain.join d))
+      workers
+  done;
+  Sig_cache.clear ()
 
 let suite =
   [

@@ -1,0 +1,156 @@
+(* Session-scoped configuration oracle: the config record must be the
+   only thing the switches do.  Every prune x cache x batch combination
+   of [Session.config] must yield a byte-identical diagnosis report on
+   the rnd1k suite circuit, and concurrent diagnoses sharing one warm
+   session must match their sequential runs byte for byte — the
+   properties the volume service stands on. *)
+
+let net =
+  lazy
+    (match Generators.find_suite "rnd1k" with
+    | Some n -> n
+    | None -> failwith "rnd1k missing from the suite")
+
+let pats = lazy (Campaign.test_set (Lazy.force net))
+
+let make_dlog seed multiplicity =
+  let net = Lazy.force net and pats = Lazy.force pats in
+  let expected = Logic_sim.responses net pats in
+  let rng = Rng.create seed in
+  let rec draw attempts =
+    if attempts = 0 then None
+    else begin
+      let defects = Injection.random_defects rng net Injection.default_mix multiplicity in
+      let observed = Injection.observed_responses net pats defects in
+      let dlog = Datalog.of_responses ~expected ~observed in
+      if Datalog.num_failing dlog = 0 then draw (attempts - 1) else Some dlog
+    end
+  in
+  draw 20
+
+(* A cold session: clearing the registry first forces [Session.create]
+   to build a fresh cache instance instead of adopting a warm one. *)
+let cold_session config =
+  Sig_cache.clear ();
+  Session.create ~config (Lazy.force net) (Lazy.force pats)
+
+let config ~prune ~cache ~batch =
+  { Session.default_config with Session.prune; cache; batch; domains = Some 1 }
+
+(* All 8 prune x cache x batch corners produce one report, byte for
+   byte, from a cold cache each time. *)
+let prop_all_combos_identical =
+  QCheck.Test.make ~name:"all 8 prune x cache x batch combos: byte-identical reports"
+    ~count:2
+    QCheck.(pair (int_range 1 100_000) (int_range 2 3))
+    (fun (seed, multiplicity) ->
+      match make_dlog seed multiplicity with
+      | None -> true
+      | Some dlog ->
+        let report ~prune ~cache ~batch =
+          let session = cold_session (config ~prune ~cache ~batch) in
+          Report.render (Lazy.force net) (Noassume.diagnose_session session dlog)
+        in
+        let reference = report ~prune:true ~cache:true ~batch:true in
+        List.for_all
+          (fun (prune, cache, batch) ->
+            String.equal reference (report ~prune ~cache ~batch))
+          [
+            (true, true, false);
+            (true, false, true);
+            (true, false, false);
+            (false, true, true);
+            (false, true, false);
+            (false, false, true);
+            (false, false, false);
+          ])
+
+(* Four dies drained concurrently over one shared warm session must
+   produce exactly the reports their one-at-a-time runs produce —
+   request-level parallelism may not leak state between diagnoses. *)
+let prop_concurrent_matches_sequential =
+  QCheck.Test.make
+    ~name:"4 concurrent diagnoses on one warm session = sequential (byte-identical)"
+    ~count:2
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let dies =
+        List.filteri
+          (fun i _ -> i < 4)
+          (List.filter_map
+             (fun i -> make_dlog (seed + (31 * i)) 2)
+             [ 1; 2; 3; 4; 5; 6 ])
+        |> List.mapi (fun i dlog -> { Volume.name = Printf.sprintf "die%d" i; dlog })
+      in
+      QCheck.assume (dies <> []);
+      let session = cold_session (config ~prune:true ~cache:true ~batch:true) in
+      (* Sequential reference also warms the session's cache, so the
+         concurrent drain below runs the warm-session fast path. *)
+      let sequential = Volume.run ~workers:1 session dies in
+      let concurrent = Volume.run ~workers:4 session dies in
+      Sig_cache.clear ();
+      List.for_all2
+        (fun (a : Volume.die_result) (b : Volume.die_result) ->
+          String.equal a.Volume.text b.Volume.text && String.equal a.Volume.die b.Volume.die)
+        sequential concurrent)
+
+(* The volume rollup ranks by dies-implicated and carries every die. *)
+let test_rollup () =
+  let dies =
+    List.filter_map (fun i -> make_dlog (1000 + i) 2) [ 1; 2; 3 ]
+    |> List.mapi (fun i dlog -> { Volume.name = Printf.sprintf "die%d" i; dlog })
+  in
+  Alcotest.(check bool) "got dies" true (dies <> []);
+  let session = cold_session (config ~prune:true ~cache:true ~batch:true) in
+  let results = Volume.run ~workers:1 session dies in
+  let ru = Volume.rollup session results in
+  Alcotest.(check int) "rollup die count" (List.length dies) ru.Volume.dies;
+  let sorted_ok =
+    let rec check = function
+      | a :: (b :: _ as rest) ->
+        a.Volume.dies_implicated >= b.Volume.dies_implicated && check rest
+      | _ -> true
+    in
+    check ru.Volume.nets
+  in
+  Alcotest.(check bool) "nets sorted by dies implicated" true sorted_ok;
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "net %s within die count" n.Volume.net)
+        true
+        (n.Volume.dies_implicated >= 1 && n.Volume.dies_implicated <= ru.Volume.dies))
+    ru.Volume.nets;
+  Sig_cache.clear ()
+
+(* Per-die sinks: each die's report carries its own counters (a
+   diagnosis always runs the explain phase at least once), and the
+   volume drain does not require the global registry to be enabled. *)
+let test_per_die_sinks () =
+  let dies =
+    List.filter_map (fun i -> make_dlog (2000 + i) 2) [ 1; 2 ]
+    |> List.mapi (fun i dlog -> { Volume.name = Printf.sprintf "die%d" i; dlog })
+  in
+  Alcotest.(check bool) "got dies" true (dies <> []);
+  let session = cold_session (config ~prune:true ~cache:true ~batch:true) in
+  let results = Volume.run ~workers:1 session dies in
+  List.iter
+    (fun (r : Volume.die_result) ->
+      let counters = Run_report.counters r.Volume.report in
+      let evals = Option.value ~default:0 (List.assoc_opt "scoring.evaluations" counters) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s scored at least one multiplet" r.Volume.die)
+        true (evals > 0))
+    results;
+  Sig_cache.clear ()
+
+let suite =
+  [
+    ( "session",
+      [
+        Alcotest.test_case "volume rollup shape" `Quick test_rollup;
+        Alcotest.test_case "per-die sinks carry counters" `Quick test_per_die_sinks;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest
+          [ prop_all_combos_identical; prop_concurrent_matches_sequential ] );
+  ]
