@@ -51,7 +51,18 @@
       [min_volume_throughput_1cpu] floor, which only catches the
       service serializing catastrophically (a lock or a sink
       bottleneck on the shared session driving 2 workers far below
-      the plain overhead cost). *)
+      the plain overhead cost).
+
+   6. Prewarm gate.  Same report as gate 5: the prewarm+frozen arm's
+      diagnoses/sec over the lazy-warm arm's, best ratio across the
+      worker counts, must stay above [min_prewarm_speedup].  The frozen
+      tier replaces every warm hit's shard lock + hashtable probe with
+      an array load, so the ratio cannot legitimately fall below parity
+      on any core count — the floor sits just under 1.0 to absorb
+      timing jitter and catches the frozen read path regressing (e.g.
+      probes falling through to the mutable tier again).  Multi-core
+      hosts measure well above the floor at 2+ workers, where freezing
+      also removes the contention. *)
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
 
@@ -66,6 +77,7 @@ type thresholds = {
   min_batch_speedup : float;
   min_volume_throughput : float;
   min_volume_throughput_1cpu : float;
+  min_prewarm_speedup : float;
   gated_counters : string list;
 }
 
@@ -93,6 +105,7 @@ let load_thresholds () =
     min_batch_speedup = fnum "min_batch_speedup";
     min_volume_throughput = fnum "min_volume_throughput";
     min_volume_throughput_1cpu = fnum "min_volume_throughput_1cpu";
+    min_prewarm_speedup = fnum "min_prewarm_speedup";
     gated_counters;
   }
 
@@ -251,7 +264,17 @@ let check_volume_throughput t =
   if speedup < floor_ *. 0.98 then
     die
       "check_regress: FAIL — volume multi-worker throughput %.3fx below floor %.2fx"
-      speedup floor_
+      speedup floor_;
+  (* Gate 6, off the same report (the two arms were interleaved run by
+     run): prewarm+frozen drains over lazy-warm drains. *)
+  let prewarm_speedup = Volumebench.best_prewarm_speedup report in
+  Printf.printf
+    "check_regress: prewarm+frozen vs lazy-warm on rnd2k: best ratio %.3fx (floor \
+     %.2fx; one-time sweep %.1f ms)\n%!"
+    prewarm_speedup t.min_prewarm_speedup report.Volumebench.prewarm_ms;
+  if prewarm_speedup < t.min_prewarm_speedup *. 0.98 then
+    die "check_regress: FAIL — prewarm+frozen throughput ratio %.3fx below floor %.2fx"
+      prewarm_speedup t.min_prewarm_speedup
 
 let () =
   if Array.mem "--write-baseline" Sys.argv then write_baseline ()

@@ -169,15 +169,28 @@ let run_batch () =
 (* --- Volume-service throughput -------------------------------------- *)
 
 (* Diagnoses/sec of one warm rnd2k session drained at 1/2/4 worker
-   domains — request-level parallelism, the scaling axis volume
-   diagnosis actually ships.  On a single-CPU host expect parity across
-   worker counts; the JSON records the curve either way. *)
+   domains, lazy-warm vs prewarm+frozen arms — request-level
+   parallelism, the scaling axis volume diagnosis actually ships.  On a
+   single-CPU host expect parity across worker counts; the JSON records
+   the curve either way.  MDD_BENCH_TIER=large (the weekly CI job) adds
+   an rnd50k point with a small die queue, tracking the cold-start
+   amortisation ([prewarm_ms] against the per-die drain) at the scale
+   where it matters. *)
 let run_volume () =
-  let report = Volumebench.run ~circuit:"rnd2k" ~worker_counts:[ 1; 2; 4 ] ~repeats:3 () in
-  Table.print (Volumebench.to_table report);
-  let path = "BENCH_volume.json" in
-  Volumebench.write_json ~path report;
-  Printf.printf "(wrote %s)\n\n%!" path
+  let points =
+    (* (circuit, dies, repeats, output path) *)
+    let default = [ ("rnd2k", 8, 3, "BENCH_volume.json") ] in
+    match Sys.getenv_opt "MDD_BENCH_TIER" with
+    | Some "large" -> default @ [ ("rnd50k", 3, 2, "BENCH_volume_rnd50k.json") ]
+    | None | Some _ -> default
+  in
+  List.iter
+    (fun (circuit, dies, repeats, path) ->
+      let report = Volumebench.run ~circuit ~worker_counts:[ 1; 2; 4 ] ~dies ~repeats () in
+      Table.print (Volumebench.to_table report);
+      Volumebench.write_json ~path report;
+      Printf.printf "(wrote %s)\n\n%!" path)
+    points
 
 (* --- Table/figure drivers ------------------------------------------ *)
 

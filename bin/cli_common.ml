@@ -84,20 +84,56 @@ let no_batch_arg =
   in
   Arg.(value & flag & info [ "no-batch" ] ~doc)
 
-(* The MDD_NO_PRUNE / MDD_NO_CACHE / MDD_NO_BATCH environment switches
-   are resolved here, once, into a [Session.config] record — nothing in
-   lib/ reads them.  Flags only disable: leaving one off keeps the
-   environment-derived default in place, mirroring [apply_domains]. *)
+let prewarm_arg =
+  let doc =
+    "Before the first diagnosis, fault-simulate the whole collapsed \
+     fault pool in one batched sweep and freeze the signature cache: \
+     every later signature read is lock-free, and the cold first-die \
+     path disappears.  Pays off when many datalogs share one circuit \
+     ($(b,--batch-dir), $(b,--serve)); the MDD_PREWARM environment \
+     variable does the same.  Results are identical either way."
+  in
+  Arg.(value & flag & info [ "prewarm" ] ~doc)
+
+let cache_mb_arg =
+  let doc =
+    "Signature-cache memory budget per problem, in MB (default 64); the \
+     MDD_SIG_CACHE_MB environment variable is the documented fallback."
+  in
+  Arg.(value & opt (some int) None & info [ "cache-mb" ] ~docv:"MB" ~doc)
+
+(* The MDD_NO_PRUNE / MDD_NO_CACHE / MDD_NO_BATCH / MDD_PREWARM /
+   MDD_SIG_CACHE_MB environment switches are resolved here, once, into a
+   [Session.config] record — nothing in lib/ reads them.  Boolean flags
+   only push away from the default: leaving one off keeps the
+   environment-derived setting in place, mirroring [apply_domains]. *)
 let env_off name =
   match Sys.getenv_opt name with None | Some "" -> false | Some _ -> true
 
-let session_config ~no_prune ~no_cache ~no_batch ~domains =
+(* MDD_SIG_CACHE_MB fallback: positive integers only, anything else is
+   ignored (same leniency the pre-session reader had). *)
+let env_cache_mb () =
+  match Sys.getenv_opt "MDD_SIG_CACHE_MB" with
+  | None -> None
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some mb when mb >= 1 -> Some mb
+    | Some _ | None -> None)
+
+let session_config ?(prewarm = false) ?cache_mb ~no_prune ~no_cache ~no_batch ~domains () =
+  let cache_mb =
+    match cache_mb with
+    | Some mb when mb >= 1 -> mb
+    | Some _ | None -> (
+      match env_cache_mb () with Some mb -> mb | None -> Sig_cache.default_budget_mb)
+  in
   {
-    Session.default_config with
     Session.prune = not (no_prune || env_off "MDD_NO_PRUNE");
     cache = not (no_cache || env_off "MDD_NO_CACHE");
     batch = not (no_batch || env_off "MDD_NO_BATCH");
     domains;
+    cache_mb;
+    prewarm = prewarm || env_off "MDD_PREWARM";
   }
 
 (* Resolved-configuration metadata for `--stats` reports: read back from
@@ -113,6 +149,8 @@ let config_meta (c : Session.config) =
         (match c.Session.domains with
         | Some d -> d
         | None -> Parallel.default_domains ()) );
+    ("cache_mb", string_of_int c.Session.cache_mb);
+    ("prewarm", if c.Session.prewarm then "on" else "off");
   ]
 
 (* Pattern source: an explicit file, or the in-repo ATPG flow. *)

@@ -603,6 +603,7 @@ let build ?domains ?prune ?cache ?batch net pats dlog =
       batch = Option.value batch ~default:d.Session.batch;
       domains;
       cache_mb = d.Session.cache_mb;
+      prewarm = false;
     }
   in
   build_session (Session.create ~config net pats) dlog

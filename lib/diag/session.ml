@@ -18,6 +18,7 @@ type config = {
   batch : bool;  (* PPSFP batched fault simulation *)
   domains : int option;  (* kernel fan-out; [None] = Parallel default *)
   cache_mb : int;  (* per-instance [Sig_cache] budget *)
+  prewarm : bool;  (* whole-pool sweep + [Sig_cache.freeze] at create *)
 }
 
 let default_config =
@@ -26,7 +27,8 @@ let default_config =
     cache = true;
     batch = true;
     domains = None;
-    cache_mb = Sig_cache.default_budget_mb ();
+    cache_mb = Sig_cache.default_budget_mb;
+    prewarm = false;
   }
 
 type t = {
@@ -40,7 +42,7 @@ type t = {
   config : config;
 }
 
-let create ?(config = default_config) ?sink net pats =
+let make ?(config = default_config) ?sink net pats =
   let cache =
     if config.cache then Some (Sig_cache.for_problem ~budget_mb:config.cache_mb net pats)
     else None
@@ -175,6 +177,124 @@ let fault_triples t (faults : Fault_list.fault array) =
         miss
   end;
   out
+
+(* --- Whole-pool prewarm --------------------------------------------- *)
+
+let c_prewarm_faults = Obs.counter "prewarm.faults"
+
+(* One PPSFP sweep over the whole fault pool, then [Sig_cache.freeze]:
+   after this, every signature a diagnosis can ask for is answered by
+   the frozen tier — no hashing, no shard mutex — and the per-die work
+   of a volume run reduces to covering.  The pool matches the keys the
+   phases actually probe: class representatives when pruning (Explain
+   rows and both baselines key by [Fault_list.representative_of]), the
+   full [Fault_list.all] universe otherwise (raw candidate keys; the
+   representatives are a subset, so either pool covers the baselines).
+
+   Probes use [Sig_cache.peek] so the hit/miss counters keep reflecting
+   only probes a diagnosis made — the acceptance check that a frozen
+   session serves dies with [cache.hits = 0] depends on that.  Results
+   are written per fault index (chunks are contiguous, writes disjoint),
+   heavy scratch (simulator, delta slabs, triple buffers) is per slot,
+   and stores run sequentially after the join, so the cache contents —
+   and therefore every later diagnosis — are identical for any domain
+   count. *)
+let prewarm t =
+  match t.cache with
+  | None -> 0
+  | Some c when Sig_cache.is_frozen c -> 0
+  | Some c ->
+    Obs.phase "prewarm" (fun () ->
+        let pool =
+          if t.config.prune then Fault_list.representatives (Fault_list.collapse t.net)
+          else Fault_list.all t.net
+        in
+        let cold =
+          Array.of_list
+            (List.filter
+               (fun f ->
+                 Sig_cache.peek c (Sig_cache.key ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck)
+                 = None)
+               pool)
+        in
+        let n = Array.length cold in
+        let out = Array.make n [||] in
+        if n > 0 then
+          if t.config.batch then begin
+            let domains = t.config.domains in
+            let plan =
+              Parallel.weighted_chunks ?domains ~min_chunk_weight:64 ~max_chunk_size:batch_tile
+                ~weights:(Array.make n 1) ()
+            in
+            let nslots = Parallel.plan_slots ?domains plan in
+            let sims = Array.init nslots (fun _ -> Fault_sim.create ~reach:t.reach t.net) in
+            let b0 = Fault_sim.prepare_batch sims.(0) ~blocks:t.blocks ~goods:t.goods in
+            let batches =
+              Array.init nslots (fun s ->
+                  if s = 0 then b0
+                  else Fault_sim.prepare_batch ~share:b0 sims.(s) ~blocks:t.blocks ~goods:t.goods)
+            in
+            let tbs = Array.init nslots (fun _ -> { buf = Array.make 4096 0; len = 0 }) in
+            let startss = Array.init nslots (fun _ -> Array.make batch_tile 0) in
+            Parallel.run_plan_slotted ?domains plan (fun ~slot _ci lo hi ->
+                let b = batches.(slot) and tb = tbs.(slot) and starts = startss.(slot) in
+                tb.len <- 0;
+                let cur = ref (-1) in
+                let close j =
+                  if j >= 0 then out.(lo + j) <- Array.sub tb.buf starts.(j) (tb.len - starts.(j))
+                in
+                Fault_sim.simulate_batch b ~n:(hi - lo)
+                  ~fault:(fun j ->
+                    let f = cold.(lo + j) in
+                    (f.Fault_list.site, f.Fault_list.stuck))
+                  (fun j bi oi w ->
+                    if j <> !cur then begin
+                      close !cur;
+                      cur := j;
+                      starts.(j) <- tb.len
+                    end;
+                    tbuf_push tb bi;
+                    tbuf_push tb oi;
+                    tbuf_push tb w);
+                close !cur);
+            if Obs.enabled () then begin
+              Array.iter Fault_sim.publish_batch_stats batches;
+              Array.iter Fault_sim.publish_stats sims
+            end
+          end
+          else begin
+            (* Scalar fallback so the prewarm/lazy/off byte-identity
+               oracle holds under every config corner. *)
+            let sim = Fault_sim.create ~reach:t.reach t.net in
+            let tb = { buf = Array.make 4096 0; len = 0 } in
+            Array.iteri
+              (fun i f ->
+                tb.len <- 0;
+                Array.iteri
+                  (fun bi (block : Pattern.block) ->
+                    Fault_sim.iter_po_diffs sim ~good:t.goods.(bi) ~width:block.Pattern.width
+                      ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck (fun oi d ->
+                        tbuf_push tb bi;
+                        tbuf_push tb oi;
+                        tbuf_push tb d))
+                  t.blocks;
+                out.(i) <- Array.sub tb.buf 0 tb.len)
+              cold;
+            if Obs.enabled () then Fault_sim.publish_stats sim
+          end;
+        Array.iteri
+          (fun i f ->
+            Sig_cache.store c (Sig_cache.key ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck)
+              out.(i))
+          cold;
+        Sig_cache.freeze c;
+        if Obs.enabled () then Obs.add c_prewarm_faults n;
+        n)
+
+let create ?config ?sink net pats =
+  let t = make ?config ?sink net pats in
+  if t.config.prewarm then ignore (with_sink t (fun () -> prewarm t) : int);
+  t
 
 (* Expansion mirror of [Sig_cache.signature_of_triples], usable when the
    session runs cache-off (no instance to delegate to). *)

@@ -29,13 +29,17 @@ type config = {
           {!Parallel.default_domains}.  Results are identical for every
           value. *)
   cache_mb : int;  (** Signature-cache budget for this problem. *)
+  prewarm : bool;
+      (** Run {!prewarm} (whole-pool sweep + {!Sig_cache.freeze}) as
+          part of {!create}. *)
 }
 
 val default_config : config
-(** Everything on, [domains = None],
-    [cache_mb = Sig_cache.default_budget_mb ()].  The disabling
-    environment switches are {e not} read here — the CLI layer resolves
-    them once into a config record ([Cli_common.session_config]). *)
+(** Everything on except [prewarm], [domains = None],
+    [cache_mb = Sig_cache.default_budget_mb].  No environment switch is
+    read here — the CLI layer resolves them once into a config record
+    ([Cli_common.session_config]), including [MDD_SIG_CACHE_MB] and
+    [MDD_PREWARM]. *)
 
 type t
 
@@ -44,7 +48,25 @@ val create : ?config:config -> ?sink:Obs.sink -> Netlist.t -> Pattern.t -> t
     {!Sig_cache.for_problem} when [config.cache], compute the goods
     (from the cache instance when available) and the PO-reachability
     screen.  Creation is the expensive, once-per-problem step; every
-    diagnosis against the session then starts warm. *)
+    diagnosis against the session then starts warm.  When
+    [config.prewarm], also runs {!prewarm} (under the session's sink if
+    any), so the session comes back already frozen. *)
+
+val prewarm : t -> int
+(** Fill the signature cache for the {e whole} fault pool — class
+    representatives when [config.prune], the full fault universe
+    otherwise — in one fork-join PPSFP sweep over
+    {!Fault_sim.prepare_batch} slabs (shared good slab, per-slot delta
+    slabs, 512-fault tiles), then {!Sig_cache.freeze} it.  Every later
+    probe of the session's cache is a lock-free frozen-tier read; the
+    mutable tier stays available for keys outside the pool.  Returns
+    the number of faults simulated, counted as ["prewarm.faults"] under
+    the ["prewarm"] phase.  Returns [0] without side effects when the
+    session runs cache-off or the instance is already frozen (so
+    concurrent sessions sharing one instance prewarm it once).  Cold
+    probes use {!Sig_cache.peek}: hit/miss counters keep reflecting
+    only probes a diagnosis made.  Diagnosis results are byte-identical
+    with and without a prewarm, for every domain count. *)
 
 val netlist : t -> Netlist.t
 val patterns : t -> Pattern.t

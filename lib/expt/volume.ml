@@ -47,13 +47,18 @@ let load_dir session dir =
   Array.to_list files
   |> List.filter (fun f -> Filename.check_suffix f datalog_ext)
   |> List.map (fun f ->
-         let ic = open_in (Filename.concat dir f) in
-         let text = really_input_string ic (in_channel_length ic) in
-         close_in ic;
-         {
-           name = Filename.chop_suffix f datalog_ext;
-           dlog = Datalog.of_text ~npatterns ~npos text;
-         })
+         let path = Filename.concat dir f in
+         (* [Fun.protect]: a short read or a datalog parse error must not
+            leak the descriptor — a volume directory can hold thousands
+            of dies, enough to exhaust the fd table mid-load. *)
+         let ic = open_in path in
+         let text =
+           Fun.protect
+             ~finally:(fun () -> close_in_noerr ic)
+             (fun () -> really_input_string ic (in_channel_length ic))
+         in
+         try { name = Filename.chop_suffix f datalog_ext; dlog = Datalog.of_text ~npatterns ~npos text }
+         with Invalid_argument msg -> invalid_arg (Printf.sprintf "%s: %s" path msg))
 
 let diagnose_die ?config session d =
   let config =

@@ -32,8 +32,10 @@ type rollup = { dies : int; diagnosed : int; nets : net_rollup list }
 
 val load_dir : Session.t -> string -> die list
 (** All [*.datalog] files of a directory, sorted by name; die names are
-    the basenames.  Raises [Invalid_argument] on malformed datalogs,
-    [Sys_error] on unreadable paths. *)
+    the basenames.  Raises [Invalid_argument] on malformed datalogs
+    (message prefixed with the offending die file's path), [Sys_error]
+    on unreadable paths.  Never leaks a descriptor, whichever die
+    fails. *)
 
 val diagnose_die : ?config:Noassume.config -> Session.t -> die -> die_result
 (** One die under a private sink.  [config] defaults to

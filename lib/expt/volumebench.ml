@@ -7,21 +7,43 @@
    equally, and speedups as ratios of best (minimum) drain times —
    scheduling noise only ever adds time.
 
-   The session and its signature cache are warmed by one untimed drain
-   before any timed run: volume mode's steady state is a warm cache
-   (every die shares the circuit and test set), and a cold first drain
-   would bill one arm for the warm-up misses. *)
+   Two arms per worker count, interleaved run by run:
+
+   - the {e lazy} arm drains a session whose signature cache was filled
+     by one untimed drain (the pre-prewarm steady state — every warm
+     hit pays a shard [Mutex.lock]);
+   - the {e prewarm} arm drains a session whose cache was filled by
+     [Session.prewarm] and frozen — every hit is a lock-free
+     frozen-tier read.
+
+   The two sessions hold {e distinct} cache instances: the registry is
+   cleared between creations, else [Sig_cache.for_problem]'s
+   physical-equality sharing would hand both sessions one instance and
+   freezing it would contaminate the lazy arm.  Session handles survive
+   registry clears.  The one-time sweep cost is reported separately as
+   [prewarm_ms] — it amortises over the die count, which is the
+   rnd50k cold-start story (EXPERIMENTS Fig 1a). *)
 
 type sample = {
   workers : int;
   runs : int;
-  median_ms : float;  (* full-queue drain, median over the timed runs *)
-  best_ms : float;  (* minimum over the timed runs *)
-  dps : float;  (* diagnoses per second at the best drain *)
-  speedup_vs_1 : float;  (* best_ms at 1 worker / best_ms here *)
+  median_ms : float;  (* lazy arm: full-queue drain, median over runs *)
+  best_ms : float;  (* lazy arm: minimum over the timed runs *)
+  dps : float;  (* lazy arm: diagnoses per second at the best drain *)
+  speedup_vs_1 : float;  (* lazy best_ms at 1 worker / best_ms here *)
+  prewarm_median_ms : float;  (* frozen arm: median drain *)
+  prewarm_best_ms : float;  (* frozen arm: best drain *)
+  prewarm_dps : float;  (* frozen arm: diagnoses/sec at best drain *)
+  prewarm_speedup : float;  (* lazy best_ms / frozen best_ms, same workers *)
 }
 
-type report = { circuit : string; dies : int; repeats : int; samples : sample list }
+type report = {
+  circuit : string;
+  dies : int;
+  repeats : int;
+  prewarm_ms : float;  (* one-time whole-pool sweep + freeze *)
+  samples : sample list;
+}
 
 let now_ms () = Unix.gettimeofday () *. 1e3
 
@@ -68,43 +90,68 @@ let default_patterns = 4 * Bitvec.word_bits
 let run ?(circuit = "rnd2k") ?(worker_counts = [ 1; 2; 4 ]) ?(repeats = 3)
     ?(dies = 8) ?(patterns = default_patterns) ?(multiplicity = 3) ?(seed = 99) () =
   let net, pats, queue = prepare ~circuit ~patterns ~dies ~multiplicity ~seed in
-  let session = Session.create net pats in
-  let drain workers =
+  (* Lazy arm: a private cache instance warmed by one untimed drain (and
+     never frozen).  Clear the registry first so this creation cannot
+     adopt — or later donate — an instance shared with the other arm. *)
+  Sig_cache.clear ();
+  let lazy_session = Session.create net pats in
+  let drain session workers =
     let t0 = now_ms () in
     ignore (Sys.opaque_identity (Volume.run ~workers session queue));
     now_ms () -. t0
   in
   (* Warm-up drain: fills the signature cache and pays allocation
      ramp-up outside every timed run. *)
-  ignore (drain 1);
+  ignore (drain lazy_session 1);
+  (* Prewarm arm: a fresh instance filled by the whole-pool sweep and
+     frozen.  The sweep is timed once — the number the cold-start story
+     quotes — then a cheap untimed drain pays the same allocation
+     ramp-up the lazy arm got. *)
+  Sig_cache.clear ();
+  let frozen_session = Session.create net pats in
+  let t0 = now_ms () in
+  ignore (Session.prewarm frozen_session);
+  let prewarm_ms = now_ms () -. t0 in
+  Sig_cache.clear ();
+  ignore (drain frozen_session 1);
   let times =
-    Array.of_list (List.map (fun w -> (w, Array.make repeats 0.0)) worker_counts)
+    Array.of_list
+      (List.map (fun w -> (w, Array.make repeats 0.0, Array.make repeats 0.0)) worker_counts)
   in
   for i = 0 to repeats - 1 do
-    Array.iter (fun (w, a) -> a.(i) <- drain w) times
+    Array.iter
+      (fun (w, lz, fz) ->
+        lz.(i) <- drain lazy_session w;
+        fz.(i) <- drain frozen_session w)
+      times
   done;
   let best_of a = Array.fold_left min a.(0) a in
   let base =
-    match Array.find_opt (fun (w, _) -> w = 1) times with
-    | Some (_, a) -> best_of a
-    | None -> (match times with [||] -> nan | _ -> best_of (snd times.(0)))
+    match Array.find_opt (fun (w, _, _) -> w = 1) times with
+    | Some (_, a, _) -> best_of a
+    | None -> (match times with [||] -> nan | _ -> (fun (_, a, _) -> best_of a) times.(0))
   in
   let samples =
     Array.to_list
       (Array.map
-         (fun (w, a) ->
-           let best = best_of a in
+         (fun (w, lz, fz) ->
+           let best = best_of lz in
+           let pbest = best_of fz in
            {
              workers = w;
              runs = repeats;
-             median_ms = median a;
+             median_ms = median lz;
              best_ms = best;
              dps = float_of_int dies /. (best /. 1e3);
              speedup_vs_1 = base /. best;
+             prewarm_median_ms = median fz;
+             prewarm_best_ms = pbest;
+             prewarm_dps = float_of_int dies /. (pbest /. 1e3);
+             prewarm_speedup = best /. pbest;
            })
          times)
   in
-  { circuit; dies; repeats; samples }
+  { circuit; dies; repeats; prewarm_ms; samples }
 
 (* Best request-level speedup over the multi-worker arms — the number
    the regression gate floors. *)
@@ -113,20 +160,31 @@ let best_speedup r =
     (fun acc s -> if s.workers > 1 then max acc s.speedup_vs_1 else acc)
     0.0 r.samples
 
+(* Best frozen-over-lazy throughput ratio across all worker counts —
+   gate 6 ([min_prewarm_speedup]).  On one core the 1-worker arm
+   carries the signal (no contention to remove, the ratio floors near
+   1.0); with real cores the multi-worker arms show the
+   contention-removal win. *)
+let best_prewarm_speedup r =
+  List.fold_left (fun acc s -> max acc s.prewarm_speedup) 0.0 r.samples
+
 let to_table r =
   let table =
     Table.create
       ~title:
         (Printf.sprintf
-           "Volume diagnosis throughput on %s (%d dies/drain, %d runs/point, warm \
-            session)"
-           r.circuit r.dies r.repeats)
+           "Volume diagnosis throughput on %s (%d dies/drain, %d runs/point, lazy-warm \
+            vs prewarm+frozen session; prewarm sweep %.1f ms)"
+           r.circuit r.dies r.repeats r.prewarm_ms)
       [
         ("workers", Table.Right);
         ("median ms", Table.Right);
         ("best ms", Table.Right);
         ("diagnoses/s", Table.Right);
         ("speedup vs 1", Table.Right);
+        ("frozen best ms", Table.Right);
+        ("frozen dps", Table.Right);
+        ("prewarm speedup", Table.Right);
       ]
   in
   List.iter
@@ -138,6 +196,9 @@ let to_table r =
           Table.cell_float ~decimals:1 s.best_ms;
           Table.cell_float ~decimals:2 s.dps;
           Table.cell_float ~decimals:2 s.speedup_vs_1;
+          Table.cell_float ~decimals:1 s.prewarm_best_ms;
+          Table.cell_float ~decimals:2 s.prewarm_dps;
+          Table.cell_float ~decimals:2 s.prewarm_speedup;
         ])
     r.samples;
   table
@@ -146,14 +207,19 @@ let json_of_report r =
   let buf = Buffer.create 1024 in
   Printf.bprintf buf "{\n  \"circuit\": %S,\n  \"dies\": %d,\n  \"repeats\": %d,\n"
     r.circuit r.dies r.repeats;
-  Printf.bprintf buf "  \"best_multiworker_speedup\": %.4f,\n  \"samples\": [\n"
-    (best_speedup r);
+  Printf.bprintf buf "  \"prewarm_ms\": %.3f,\n" r.prewarm_ms;
+  Printf.bprintf buf "  \"best_multiworker_speedup\": %.4f,\n" (best_speedup r);
+  Printf.bprintf buf "  \"best_prewarm_speedup\": %.4f,\n  \"samples\": [\n"
+    (best_prewarm_speedup r);
   List.iteri
     (fun i s ->
       Printf.bprintf buf
         "    {\"workers\": %d, \"runs\": %d, \"median_ms\": %.3f, \"best_ms\": %.3f, \
-         \"diagnoses_per_sec\": %.4f, \"speedup_vs_1\": %.4f}%s\n"
-        s.workers s.runs s.median_ms s.best_ms s.dps s.speedup_vs_1
+         \"diagnoses_per_sec\": %.4f, \"speedup_vs_1\": %.4f, \
+         \"prewarm_median_ms\": %.3f, \"prewarm_best_ms\": %.3f, \
+         \"prewarm_diagnoses_per_sec\": %.4f, \"prewarm_speedup\": %.4f}%s\n"
+        s.workers s.runs s.median_ms s.best_ms s.dps s.speedup_vs_1 s.prewarm_median_ms
+        s.prewarm_best_ms s.prewarm_dps s.prewarm_speedup
         (if i = List.length r.samples - 1 then "" else ","))
     r.samples;
   Buffer.add_string buf "  ]\n}\n";

@@ -1,19 +1,36 @@
 (** Volume-throughput bench: diagnoses/second of {!Volume.run} at
-    several worker counts against one warm session (warm signature
-    cache — the service's steady state).  Worker counts are interleaved
-    run by run and speedups divide best (minimum) drain times, the same
-    noise defenses as {!Batchbench}. *)
+    several worker counts, two arms per count — a {e lazy-warm} session
+    (cache filled by an untimed drain, every hit through the shard
+    mutex) and a {e prewarm+frozen} session ({!Session.prewarm}, every
+    hit a lock-free frozen-tier read) on distinct cache instances.
+    Arms and worker counts are interleaved run by run and speedups
+    divide best (minimum) drain times, the same noise defenses as
+    {!Batchbench}. *)
 
 type sample = {
   workers : int;
   runs : int;
-  median_ms : float;  (** Full-queue drain, median of the timed runs. *)
-  best_ms : float;  (** Minimum of the timed runs. *)
-  dps : float;  (** Diagnoses per second at the best drain. *)
-  speedup_vs_1 : float;  (** [best_ms] at 1 worker over [best_ms] here. *)
+  median_ms : float;  (** Lazy arm: full-queue drain, median of runs. *)
+  best_ms : float;  (** Lazy arm: minimum of the timed runs. *)
+  dps : float;  (** Lazy arm: diagnoses per second at the best drain. *)
+  speedup_vs_1 : float;
+      (** Lazy [best_ms] at 1 worker over lazy [best_ms] here. *)
+  prewarm_median_ms : float;  (** Frozen arm: median drain. *)
+  prewarm_best_ms : float;  (** Frozen arm: best drain. *)
+  prewarm_dps : float;  (** Frozen arm: diagnoses/sec at best drain. *)
+  prewarm_speedup : float;
+      (** Lazy [best_ms] over frozen [prewarm_best_ms], same workers. *)
 }
 
-type report = { circuit : string; dies : int; repeats : int; samples : sample list }
+type report = {
+  circuit : string;
+  dies : int;
+  repeats : int;
+  prewarm_ms : float;
+      (** One-time {!Session.prewarm} sweep + freeze cost — amortises
+          over the die count (the rnd50k cold-start number). *)
+  samples : sample list;
+}
 
 val run :
   ?circuit:string ->
@@ -29,8 +46,14 @@ val run :
     multiplicity 3, 4 blocks of seeded-random patterns, seed 99. *)
 
 val best_speedup : report -> float
-(** Best [speedup_vs_1] over the multi-worker arms — what the
+(** Best lazy-arm [speedup_vs_1] over the multi-worker arms — what the
     regression gate floors ([min_volume_throughput]). *)
+
+val best_prewarm_speedup : report -> float
+(** Best frozen-over-lazy throughput ratio across all worker counts —
+    what gate 6 floors ([min_prewarm_speedup]).  Near 1.0 on one core
+    (uncontended mutex ops are cheap); the win appears with real
+    cores. *)
 
 val to_table : report -> Table.t
 val json_of_report : report -> string

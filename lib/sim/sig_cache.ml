@@ -11,6 +11,7 @@
 let c_hits = Obs.counter "cache.hits"
 let c_misses = Obs.counter "cache.misses"
 let c_evictions = Obs.counter "cache.evictions"
+let c_frozen_hits = Obs.counter "cache.frozen_hits"
 
 (* Live instance count in the registry below.  Kept as a counter (with
    negative deltas on eviction) so run reports show how many problems
@@ -19,11 +20,10 @@ let c_instances = Obs.counter "cache.instances"
 
 (* Default word budget across all shards of one instance.  Entries are
    int arrays, so the budget is an honest (if approximate) bound on the
-   cache's major-heap footprint. *)
-let default_budget_mb () =
-  match Option.bind (Sys.getenv_opt "MDD_SIG_CACHE_MB") int_of_string_opt with
-  | Some mb when mb >= 1 -> mb
-  | Some _ | None -> 64
+   cache's major-heap footprint.  A plain constant: the MDD_SIG_CACHE_MB
+   environment variable is resolved once at CLI startup into the session
+   config ([Cli_common.session_config]), never read down here. *)
+let default_budget_mb = 64
 
 let nshards = 16
 
@@ -46,6 +46,16 @@ type t = {
   goods : Logic_sim.net_values array;
   shards : shard array;
   budget_words : int;
+  (* Frozen tier: an immutable, densely indexed snapshot of the mutable
+     tier, published once by [freeze].  Reads are a single [Atomic.get]
+     plus an array load — no hashing, no mutex — and the publication
+     through the atomic is what makes every entry written before the
+     freeze safely visible to all domains (OCaml memory model: the
+     freezing domain's writes happen-before the [Atomic.set], which
+     happens-before any reader's [Atomic.get]).  The snapshot itself is
+     never written again; keys it lacks fall through to the mutable
+     tier, which keeps accepting writes. *)
+  frozen : int array option array option Atomic.t;
 }
 
 let goods t = t.goods
@@ -54,13 +64,37 @@ let key ~site ~stuck = (2 * site) + Bool.to_int stuck
 let shard_of t k = t.shards.(k mod nshards)
 let cost triples = Array.length triples + entry_overhead
 
-let find t k =
+let is_frozen t = Atomic.get t.frozen <> None
+
+let probe_mutable t k =
   let s = shard_of t k in
   Mutex.lock s.lock;
   let r = Hashtbl.find_opt s.tbl k in
   Mutex.unlock s.lock;
+  r
+
+let find_mutable t k =
+  let r = probe_mutable t k in
   if Obs.enabled () then Obs.incr (match r with Some _ -> c_hits | None -> c_misses);
   r
+
+let frozen_probe t k =
+  match Atomic.get t.frozen with
+  | Some fr when k >= 0 && k < Array.length fr -> Array.unsafe_get fr k
+  | Some _ | None -> None
+
+let find t k =
+  match frozen_probe t k with
+  | Some _ as r ->
+    if Obs.enabled () then Obs.incr c_frozen_hits;
+    r
+  | None -> find_mutable t k
+
+(* Counter-free probe for warm-up sweeps: [Session.prewarm] uses it to
+   find the cold keys without charging the hit/miss split for probes no
+   diagnosis made. *)
+let peek t k =
+  match frozen_probe t k with Some _ as r -> r | None -> probe_mutable t k
 
 let store t k triples =
   let s = shard_of t k in
@@ -122,6 +156,21 @@ let lookup t sim ~site ~stuck =
     store t k triples;
     triples
 
+(* Snapshot the mutable tier into the dense frozen tier and publish it.
+   Idempotent: a second freeze re-snapshots (picking up keys stored
+   since the first).  Shards are locked one at a time, so stores racing
+   with a freeze land either in the snapshot or in the mutable tier —
+   both readable afterwards. *)
+let freeze t =
+  let fr = Array.make (2 * Netlist.num_nets t.net) None in
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Hashtbl.iter (fun k v -> if k < Array.length fr then fr.(k) <- Some v) s.tbl;
+      Mutex.unlock s.lock)
+    t.shards;
+  Atomic.set t.frozen (Some fr)
+
 let signature_of_triples t triples =
   let npos = Netlist.num_pos t.net in
   let npatterns = Pattern.count t.pats in
@@ -142,7 +191,7 @@ let registry : t list ref = ref []
 let max_instances = 4
 
 let create ?budget_mb net pats =
-  let mb = match budget_mb with Some mb when mb >= 1 -> mb | _ -> default_budget_mb () in
+  let mb = match budget_mb with Some mb when mb >= 1 -> mb | _ -> default_budget_mb in
   let blocks = Array.of_list (Pattern.blocks pats) in
   {
     net;
@@ -153,6 +202,7 @@ let create ?budget_mb net pats =
       Array.init nshards (fun _ ->
           { lock = Mutex.create (); tbl = Hashtbl.create 256; order = Queue.create (); words = 0 });
     budget_words = mb * 1024 * 1024 / 8;
+    frozen = Atomic.make None;
   }
 
 let for_problem ?budget_mb net pats =

@@ -16,25 +16,35 @@
     per-output {!Bitvec.t} signatures the baselines consume.
 
     Concurrency and determinism: instances are shared across domains.
-    Buckets are sharded under per-shard mutexes, so concurrent probes
-    and stores never block the whole cache.  A key's value is a pure
-    function of the problem, so whatever interleaving wins a store
-    race, every reader sees the same triples — results of cached
-    computations are bit-identical to uncached ones for every domain
-    count.  Only the hit/miss {e counters} depend on scheduling when
-    several domains race on a cold key.
+    The cache is {e two-tier} (DESIGN.md §12).  The mutable tier —
+    buckets sharded under per-shard mutexes, so concurrent probes and
+    stores never block the whole cache — is the write path and serves
+    every read until {!freeze} publishes the frozen tier: an immutable,
+    densely indexed snapshot ([key ~site ~stuck] is the array index —
+    no hashing) that answers reads with no synchronization beyond one
+    [Atomic.get].  Keys absent from the snapshot fall through to the
+    mutable tier, which keeps accepting writes after the freeze.  A
+    key's value is a pure function of the problem, so whatever
+    interleaving wins a store race, every reader sees the same
+    triples — results of cached computations are bit-identical to
+    uncached ones for every domain count and whether or not a freeze
+    intervened.  Only the hit/miss {e counters} depend on scheduling
+    when several domains race on a cold key.
 
-    Memory is bounded per instance: each shard evicts in insertion
-    (FIFO) order once its share of the word budget (default 64 MB,
-    [MDD_SIG_CACHE_MB] overrides the default; [?budget_mb] overrides
-    per instance) is exceeded.  Eviction only ever costs a
-    re-simulation.
+    Memory is bounded per instance: each shard of the {e mutable} tier
+    evicts in insertion (FIFO) order once its share of the word budget
+    ({!default_budget_mb} unless [?budget_mb] overrides it; the
+    [MDD_SIG_CACHE_MB] environment variable is resolved once at CLI
+    startup, not here) is exceeded.  Eviction only ever costs a
+    re-simulation.  The frozen tier is exempt: it snapshots whatever
+    the mutable tier holds at {!freeze} time and never grows.
 
     There is no process-wide on/off switch: a phase that holds an
     instance caches, a phase handed none simulates directly.
     [Diag.Session] makes that choice once per engine from its config
     record.  Counters (DESIGN.md §9): ["cache.hits"],
-    ["cache.misses"], ["cache.evictions"], ["cache.instances"]. *)
+    ["cache.misses"], ["cache.frozen_hits"], ["cache.evictions"],
+    ["cache.instances"]. *)
 
 type t
 (** One per-(netlist, pattern-set) cache instance.  Instances live in a
@@ -65,7 +75,27 @@ val key : site:Netlist.net -> stuck:bool -> int
     representative so all phases share one entry per class. *)
 
 val find : t -> int -> int array option
-(** Cached triples for a key, bumping the hit/miss counters. *)
+(** Cached triples for a key.  After {!freeze}, keys in the snapshot
+    are answered lock-free (bumping ["cache.frozen_hits"]); all other
+    probes go through the shard mutex and bump the hit/miss
+    counters. *)
+
+val peek : t -> int -> int array option
+(** {!find} without touching any counter — for warm-up sweeps probing
+    which keys are still cold ([Session.prewarm]), so the hit/miss
+    split only ever reflects probes a diagnosis actually made. *)
+
+val freeze : t -> unit
+(** Snapshot the mutable tier into the frozen tier and publish it: an
+    immutable [int array option array] indexed directly by {!key}, read
+    by {!find}/{!peek} with no locks (one [Atomic.get] publishes the
+    snapshot safely across domains; the entries themselves are
+    immutable).  The mutable tier stays live for keys the snapshot
+    lacks — stores after the freeze land there and are still found.
+    Idempotent; re-freezing re-snapshots. *)
+
+val is_frozen : t -> bool
+(** Whether {!freeze} has published a frozen tier on this instance. *)
 
 val store : t -> int -> int array -> unit
 (** Insert (or overwrite) a key's triples, evicting FIFO-oldest entries
@@ -81,9 +111,11 @@ val signature_of_triples : t -> int array -> Bitvec.t array
 (** Expand triples into the per-PO, bit-per-pattern signature shape of
     {!Fault_sim.signature}. *)
 
-val default_budget_mb : unit -> int
-(** The instance budget used when [?budget_mb] is not given: 64, or
-    [MDD_SIG_CACHE_MB] when set to a positive integer. *)
+val default_budget_mb : int
+(** The instance budget (64 MB) used when [?budget_mb] is not given.
+    A plain constant: the [MDD_SIG_CACHE_MB] environment override is
+    resolved once at CLI startup into the session config
+    ([Cli_common.session_config]), never read here. *)
 
 val clear : unit -> unit
 (** Drop every instance from the registry (entries become unreachable).

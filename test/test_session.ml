@@ -94,6 +94,107 @@ let prop_concurrent_matches_sequential =
           String.equal a.Volume.text b.Volume.text && String.equal a.Volume.die b.Volume.die)
         sequential concurrent)
 
+(* Prewarm oracle: a prewarm+frozen session, a lazy-warm session (cache
+   filled by a first diagnosis, never frozen) and a cache-off session
+   must render byte-identical reports — the freeze may change who
+   answers a probe, never the answer. *)
+let prop_prewarm_identical =
+  QCheck.Test.make
+    ~name:"prewarm+frozen / lazy-warm / cache-off: byte-identical reports" ~count:2
+    QCheck.(pair (int_range 1 100_000) (int_range 2 3))
+    (fun (seed, multiplicity) ->
+      match make_dlog seed multiplicity with
+      | None -> true
+      | Some dlog ->
+        let render session =
+          Report.render (Lazy.force net) (Noassume.diagnose_session session dlog)
+        in
+        let frozen =
+          let session =
+            cold_session
+              { (config ~prune:true ~cache:true ~batch:true) with Session.prewarm = true }
+          in
+          (match Session.cache session with
+          | Some c when Sig_cache.is_frozen c -> ()
+          | Some _ -> QCheck.Test.fail_report "prewarm left the cache unfrozen"
+          | None -> QCheck.Test.fail_report "prewarm session lost its cache");
+          render session
+        in
+        let lazy_warm =
+          let session = cold_session (config ~prune:true ~cache:true ~batch:true) in
+          (* First diagnosis fills the mutable tier; the rendered rerun
+             is the lazy-warm steady state. *)
+          ignore (Noassume.diagnose_session session dlog);
+          render session
+        in
+        let off = render (cold_session (config ~prune:true ~cache:false ~batch:true)) in
+        Sig_cache.clear ();
+        String.equal frozen lazy_warm && String.equal frozen off)
+
+(* Request-level parallelism on a frozen cache: 4 workers hammering the
+   lock-free read path must reproduce the sequential drain byte for
+   byte. *)
+let prop_frozen_concurrent_matches_sequential =
+  QCheck.Test.make
+    ~name:"4-worker Volume.run on frozen cache = sequential (byte-identical)" ~count:2
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let dies =
+        List.filteri
+          (fun i _ -> i < 4)
+          (List.filter_map
+             (fun i -> make_dlog (seed + (31 * i)) 2)
+             [ 1; 2; 3; 4; 5; 6 ])
+        |> List.mapi (fun i dlog -> { Volume.name = Printf.sprintf "die%d" i; dlog })
+      in
+      QCheck.assume (dies <> []);
+      let session =
+        cold_session
+          { (config ~prune:true ~cache:true ~batch:true) with Session.prewarm = true }
+      in
+      let sequential = Volume.run ~workers:1 session dies in
+      let concurrent = Volume.run ~workers:4 session dies in
+      Sig_cache.clear ();
+      List.for_all2
+        (fun (a : Volume.die_result) (b : Volume.die_result) ->
+          String.equal a.Volume.text b.Volume.text && String.equal a.Volume.die b.Volume.die)
+        sequential concurrent)
+
+(* Counter delta after a freeze: every signature probe a die makes must
+   be answered by the frozen tier — [cache.hits] (and misses) fully
+   replaced by [cache.frozen_hits].  This is the 1-CPU acceptance proxy
+   for "zero Mutex.lock on the hit path". *)
+let test_frozen_counter_delta () =
+  let dies =
+    List.filter_map (fun i -> make_dlog (3000 + i) 2) [ 1; 2 ]
+    |> List.mapi (fun i dlog -> { Volume.name = Printf.sprintf "die%d" i; dlog })
+  in
+  Alcotest.(check bool) "got dies" true (dies <> []);
+  let session =
+    cold_session
+      { (config ~prune:true ~cache:true ~batch:true) with Session.prewarm = true }
+  in
+  (match Session.cache session with
+  | Some c -> Alcotest.(check bool) "cache frozen after prewarm" true (Sig_cache.is_frozen c)
+  | None -> Alcotest.fail "prewarm session lost its cache");
+  let results = Volume.run ~workers:1 session dies in
+  List.iter
+    (fun (r : Volume.die_result) ->
+      let counters = Run_report.counters r.Volume.report in
+      let get n = Option.value ~default:0 (List.assoc_opt n counters) in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: no mutable-tier hits" r.Volume.die)
+        0 (get "cache.hits");
+      Alcotest.(check int)
+        (Printf.sprintf "%s: no mutable-tier misses" r.Volume.die)
+        0 (get "cache.misses");
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: frozen-tier hits observed" r.Volume.die)
+        true
+        (get "cache.frozen_hits" > 0))
+    results;
+  Sig_cache.clear ()
+
 (* The volume rollup ranks by dies-implicated and carries every die. *)
 let test_rollup () =
   let dies =
@@ -150,7 +251,14 @@ let suite =
       [
         Alcotest.test_case "volume rollup shape" `Quick test_rollup;
         Alcotest.test_case "per-die sinks carry counters" `Quick test_per_die_sinks;
+        Alcotest.test_case "frozen counter delta (hits -> frozen_hits)" `Quick
+          test_frozen_counter_delta;
       ]
       @ List.map QCheck_alcotest.to_alcotest
-          [ prop_all_combos_identical; prop_concurrent_matches_sequential ] );
+          [
+            prop_all_combos_identical;
+            prop_concurrent_matches_sequential;
+            prop_prewarm_identical;
+            prop_frozen_concurrent_matches_sequential;
+          ] );
   ]
