@@ -62,7 +62,22 @@
       timing jitter and catches the frozen read path regressing (e.g.
       probes falling through to the mutable tier again).  Multi-core
       hosts measure well above the floor at 2+ workers, where freezing
-      also removes the contention. *)
+      also removes the contention.
+
+   7. Exact-agreement gate.  Differential oracle on the covering step:
+      the same seeded rnd1k trial stream diagnosed under the greedy and
+      the exact (implicit hitting-set) backends.  Hard invariant first
+      — no trial may produce an exact cover larger than greedy's (the
+      greedy result seeds the exact search's upper bound, so a larger
+      cover is a soundness bug, not a tuning matter).  Then the
+      agreement rate (trials where greedy already matched the proven
+      minimum) must stay above [min_exact_agreement].  Greedy
+      deliberately trades cardinality for caution (pair moves,
+      misprediction discounts), so the measured rate is well under 1.0;
+      the floor sits just below the pinned deterministic measurement
+      and a drop means greedy's covers got bigger or the exact
+      backend's certificates broke.  Fully deterministic — sizes and
+      certificates come from fixed-seed search, never wall time. *)
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
 
@@ -78,6 +93,7 @@ type thresholds = {
   min_volume_throughput : float;
   min_volume_throughput_1cpu : float;
   min_prewarm_speedup : float;
+  min_exact_agreement : float;
   gated_counters : string list;
 }
 
@@ -106,6 +122,7 @@ let load_thresholds () =
     min_volume_throughput = fnum "min_volume_throughput";
     min_volume_throughput_1cpu = fnum "min_volume_throughput_1cpu";
     min_prewarm_speedup = fnum "min_prewarm_speedup";
+    min_exact_agreement = fnum "min_exact_agreement";
     gated_counters;
   }
 
@@ -276,6 +293,32 @@ let check_volume_throughput t =
     die "check_regress: FAIL — prewarm+frozen throughput ratio %.3fx below floor %.2fx"
       prewarm_speedup t.min_prewarm_speedup
 
+(* Differential oracle on the covering step (gate 7): greedy vs exact
+   on the same seeded rnd1k trial stream.  Counter-free and wall-clock
+   free — cover sizes and minimality certificates are deterministic for
+   the fixed seed, so this gate never flakes. *)
+let check_exact_agreement t =
+  let report = Coverbench.run ~circuits:[ "rnd1k" ] ~trials:12 () in
+  List.iter
+    (fun (row : Coverbench.row) ->
+      Printf.printf
+        "check_regress: exact cover on %s: %d/%d agree, %d improved, %d larger, %d \
+         proved, %d fallbacks\n%!"
+        row.Coverbench.circuit row.Coverbench.agree row.Coverbench.trials
+        row.Coverbench.improved row.Coverbench.larger row.Coverbench.proved
+        row.Coverbench.fallbacks)
+    report.Coverbench.rows;
+  if Coverbench.any_larger report then
+    die
+      "check_regress: FAIL — exact cover larger than greedy on some trial (soundness \
+       bug: the greedy seed bounds the exact search)";
+  let agreement = Coverbench.agreement report in
+  Printf.printf "check_regress: greedy/exact agreement %.3f (floor %.2f)\n%!" agreement
+    t.min_exact_agreement;
+  if agreement < t.min_exact_agreement then
+    die "check_regress: FAIL — greedy/exact agreement %.3f below floor %.2f" agreement
+      t.min_exact_agreement
+
 let () =
   if Array.mem "--write-baseline" Sys.argv then write_baseline ()
   else
@@ -289,4 +332,5 @@ let () =
       check_cache_hit_rate t;
       check_timing t;
       check_batch_speedup t;
-      check_volume_throughput t
+      check_volume_throughput t;
+      check_exact_agreement t

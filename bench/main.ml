@@ -15,7 +15,10 @@
                                               # BENCH_batch.json
      dune exec bench/main.exe -- volume       # volume-service throughput
                                               # at 1/2/4 workers, writes
-                                              # BENCH_volume.json *)
+                                              # BENCH_volume.json
+     dune exec bench/main.exe -- cover        # greedy vs exact minimum
+                                              # cover per circuit, writes
+                                              # BENCH_cover.json *)
 
 let trials = ref 10
 let seed = ref 2024
@@ -192,6 +195,34 @@ let run_volume () =
       Printf.printf "(wrote %s)\n\n%!" path)
     points
 
+(* --- Greedy-vs-exact covering differential -------------------------- *)
+
+(* Cover-size resolution of the exact (implicit hitting-set) backend
+   against the greedy default, on the same seeded trial stream per
+   circuit — the numbers EXPERIMENTS.md's resolution table quotes and
+   the data behind the min_exact_agreement regression gate.  The
+   default circuit list adds the vendored .bench circuits to the two
+   random-logic tiers; MDD_BENCH_TIER=large widens it like `batch`. *)
+let run_cover () =
+  let vendored =
+    List.filter
+      (fun (name, _) -> name <> "rnd10k" && name <> "rnd50k")
+      (Generators.tiers ())
+    |> List.map fst
+  in
+  let circuits =
+    let default = [ "rnd1k"; "rnd2k" ] @ vendored in
+    match Sys.getenv_opt "MDD_BENCH_TIER" with
+    | None | Some "" | Some "default" -> default
+    | Some "large" -> default @ [ "rnd10k" ]
+    | Some names -> String.split_on_char ',' names |> List.map String.trim
+  in
+  let report = Coverbench.run ~circuits ~trials:(max 6 !trials) () in
+  Table.print (Coverbench.to_table report);
+  let path = "BENCH_cover.json" in
+  Coverbench.write_json ~path report;
+  Printf.printf "(wrote %s)\n\n%!" path
+
 (* --- Table/figure drivers ------------------------------------------ *)
 
 let experiments : (string * (unit -> Table.t)) list =
@@ -241,6 +272,7 @@ let run_experiment name =
     | "parallel" -> run_parallel ()
     | "batch" -> run_batch ()
     | "volume" -> run_volume ()
+    | "cover" -> run_cover ()
     | _ ->
       prerr_endline ("unknown experiment: " ^ name);
       exit 2)
@@ -260,7 +292,7 @@ let () =
   Arg.parse spec (fun name -> selected := name :: !selected) "bench/main.exe [experiments]";
   let to_run =
     match List.rev !selected with
-    | [] -> List.map fst experiments @ [ "micro"; "parallel"; "batch"; "volume" ]
+    | [] -> List.map fst experiments @ [ "micro"; "parallel"; "batch"; "volume"; "cover" ]
     | l -> l
   in
   List.iter run_experiment to_run

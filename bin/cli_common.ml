@@ -102,11 +102,36 @@ let cache_mb_arg =
   in
   Arg.(value & opt (some int) None & info [ "cache-mb" ] ~docv:"MB" ~doc)
 
+let cover_arg =
+  let doc =
+    "Covering backend for the noassume engine: $(b,greedy) (the paper's \
+     iterative cover, the default) or $(b,exact) (minimum-cardinality \
+     cover via the implicit hitting-set loop, seeded with the greedy \
+     result as an upper bound — never larger than greedy, and proven \
+     minimum when the search completes).  The MDD_COVER environment \
+     variable is the fallback."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("greedy", Session.Greedy); ("exact", Session.Exact) ])) None
+    & info [ "cover" ] ~docv:"BACKEND" ~doc)
+
+let cover_budget_arg =
+  let doc =
+    "Node budget for the exact covering backend (branch-and-bound nodes \
+     summed over the whole hitting-set loop; default 2000000).  On \
+     exhaustion the run falls back to the greedy cover, counts \
+     cover.budget_fallbacks and reports cover_complete=false.  The \
+     MDD_COVER_BUDGET environment variable is the fallback."
+  in
+  Arg.(value & opt (some int) None & info [ "cover-budget" ] ~docv:"N" ~doc)
+
 (* The MDD_NO_PRUNE / MDD_NO_CACHE / MDD_NO_BATCH / MDD_PREWARM /
-   MDD_SIG_CACHE_MB environment switches are resolved here, once, into a
-   [Session.config] record — nothing in lib/ reads them.  Boolean flags
-   only push away from the default: leaving one off keeps the
-   environment-derived setting in place, mirroring [apply_domains]. *)
+   MDD_SIG_CACHE_MB / MDD_COVER / MDD_COVER_BUDGET environment switches
+   are resolved here, once, into a [Session.config] record — nothing in
+   lib/ reads them.  Boolean flags only push away from the default:
+   leaving one off keeps the environment-derived setting in place,
+   mirroring [apply_domains]. *)
 let env_off name =
   match Sys.getenv_opt name with None | Some "" -> false | Some _ -> true
 
@@ -120,12 +145,43 @@ let env_cache_mb () =
     | Some mb when mb >= 1 -> Some mb
     | Some _ | None -> None)
 
-let session_config ?(prewarm = false) ?cache_mb ~no_prune ~no_cache ~no_batch ~domains () =
+(* MDD_COVER fallback: the same names the flag accepts; anything else is
+   ignored. *)
+let env_cover () =
+  match Sys.getenv_opt "MDD_COVER" with
+  | Some "greedy" -> Some Session.Greedy
+  | Some "exact" -> Some Session.Exact
+  | Some _ | None -> None
+
+let env_cover_budget () =
+  match Sys.getenv_opt "MDD_COVER_BUDGET" with
+  | None -> None
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+
+let session_config ?(prewarm = false) ?cache_mb ?cover ?cover_budget ~no_prune
+    ~no_cache ~no_batch ~domains () =
   let cache_mb =
     match cache_mb with
     | Some mb when mb >= 1 -> mb
     | Some _ | None -> (
       match env_cache_mb () with Some mb -> mb | None -> Sig_cache.default_budget_mb)
+  in
+  let cover =
+    match cover with
+    | Some c -> c
+    | None -> (
+      match env_cover () with Some c -> c | None -> Session.default_config.Session.cover)
+  in
+  let cover_budget =
+    match cover_budget with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> (
+      match env_cover_budget () with
+      | Some n -> n
+      | None -> Session.default_cover_budget)
   in
   {
     Session.prune = not (no_prune || env_off "MDD_NO_PRUNE");
@@ -134,6 +190,8 @@ let session_config ?(prewarm = false) ?cache_mb ~no_prune ~no_cache ~no_batch ~d
     domains;
     cache_mb;
     prewarm = prewarm || env_off "MDD_PREWARM";
+    cover;
+    cover_budget;
   }
 
 (* Resolved-configuration metadata for `--stats` reports: read back from
@@ -151,6 +209,7 @@ let config_meta (c : Session.config) =
         | None -> Parallel.default_domains ()) );
     ("cache_mb", string_of_int c.Session.cache_mb);
     ("prewarm", if c.Session.prewarm then "on" else "off");
+    ("cover", match c.Session.cover with Session.Greedy -> "greedy" | Session.Exact -> "exact");
   ]
 
 (* Pattern source: an explicit file, or the in-repo ATPG flow. *)

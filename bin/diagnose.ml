@@ -72,10 +72,12 @@ let read_file path =
   text
 
 let run bench suite patterns_file datalog_file batch_dir serve workers out method_
-    no_validate no_prune no_cache no_batch prewarm cache_mb domains stats =
+    no_validate no_prune no_cache no_batch prewarm cache_mb cover cover_budget domains
+    stats =
   Cli_common.apply_domains domains;
   let scfg =
-    Cli_common.session_config ~prewarm ?cache_mb ~no_prune ~no_cache ~no_batch ~domains ()
+    Cli_common.session_config ~prewarm ?cache_mb ?cover ?cover_budget ~no_prune
+      ~no_cache ~no_batch ~domains ()
   in
   let stats_dest = Cli_common.init_stats stats in
   let net = Cli_common.or_die (Cli_common.load_circuit bench suite) in
@@ -159,24 +161,36 @@ let run bench suite patterns_file datalog_file batch_dir serve workers out metho
       Format.printf "circuit: %a@." Netlist.pp_stats net;
       Format.printf "datalog: %d failing patterns over %d outputs@."
         (Datalog.num_failing dlog) (Netlist.num_pos net);
-      (match method_ with
-      | `Noassume ->
-        let r = Noassume.diagnose_session ~config session dlog in
-        print_string (Report.render net r)
-      | `Slat ->
-        let m = Explain.build_session session dlog in
-        let r = Slat_diag.diagnose m pats in
-        print_string (Report.render_slat net r)
-      | `Single ->
-        let r = Single_diag.diagnose_session session dlog in
-        print_string (Report.render_single net r));
+      let cover_meta =
+        match method_ with
+        | `Noassume ->
+          let r = Noassume.diagnose_session ~config session dlog in
+          print_string (Report.render net r);
+          (* Surfaced so an exact-cover run can be checked for faithful
+             budget reporting from the stats file alone (the CI stress
+             step greps for cover_complete). *)
+          ("cover_complete", string_of_bool r.Noassume.cover_complete)
+          ::
+          (match r.Noassume.cover_minimum with
+          | Some k -> [ ("cover_minimum", string_of_int k) ]
+          | None -> [])
+        | `Slat ->
+          let m = Explain.build_session session dlog in
+          let r = Slat_diag.diagnose m pats in
+          print_string (Report.render_slat net r);
+          []
+        | `Single ->
+          let r = Single_diag.diagnose_session session dlog in
+          print_string (Report.render_single net r);
+          []
+      in
       let method_name =
         match method_ with
         | `Noassume -> "noassume"
         | `Slat -> "slat"
         | `Single -> "single"
       in
-      [ ("mode", "single"); ("method", method_name) ]
+      [ ("mode", "single"); ("method", method_name) ] @ cover_meta
   in
   Cli_common.emit_stats stats_dest
     ~meta:
@@ -208,6 +222,7 @@ let cmd =
       $ datalog_arg $ batch_dir_arg $ serve_arg $ workers_arg $ out_arg $ method_arg
       $ no_validate_arg $ Cli_common.no_prune_arg $ Cli_common.no_cache_arg
       $ Cli_common.no_batch_arg $ Cli_common.prewarm_arg $ Cli_common.cache_mb_arg
-      $ Cli_common.domains_arg $ Cli_common.stats_arg)
+      $ Cli_common.cover_arg $ Cli_common.cover_budget_arg $ Cli_common.domains_arg
+      $ Cli_common.stats_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -604,6 +604,8 @@ let build ?domains ?prune ?cache ?batch net pats dlog =
       domains;
       cache_mb = d.Session.cache_mb;
       prewarm = false;
+      cover = d.Session.cover;
+      cover_budget = d.Session.cover_budget;
     }
   in
   build_session (Session.create ~config net pats) dlog

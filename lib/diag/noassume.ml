@@ -36,6 +36,8 @@ type result = {
   score : Scoring.score;
   candidates_considered : int;
   refinement_steps : int;
+  cover_minimum : int option;
+  cover_complete : bool;
 }
 
 (* Effective cover set of a candidate under the configuration: the
@@ -79,6 +81,7 @@ let c_cover_chosen = Obs.counter "cover.chosen"
 let c_refine_rounds = Obs.counter "refine.rounds"
 let c_refine_steps = Obs.counter "refine.steps"
 let c_aggressor_screens = Obs.counter "callouts.aggressor_screens"
+let c_budget_fallbacks = Obs.counter "cover.budget_fallbacks"
 
 let greedy_cover config m =
   let candidates = Explain.candidates m in
@@ -544,7 +547,32 @@ let validate_bridges config m pats multiplet callouts score =
   end
 
 let diagnose_matrix ?(config = default_config) m pats =
-  let chosen, covers = Obs.phase "cover" (fun () -> greedy_cover config m) in
+  (* The cover phase runs the paper's greedy pass always; under
+     [cover = Exact] the greedy result then seeds the implicit
+     hitting-set loop as an upper bound.  When the loop proves greedy
+     minimal it returns the seed list unchanged, so the rest of the
+     pipeline — refine, callouts, bridge validation, report — is
+     byte-identical to the greedy backend; only a strictly smaller
+     proven cover replaces it.  Budget exhaustion falls back to greedy
+     with [cover_complete = false] and a warning counter. *)
+  let chosen, covers, cover_minimum, cover_complete =
+    Obs.phase "cover" (fun () ->
+        let chosen, covers = greedy_cover config m in
+        let scfg = Session.config (Explain.session m) in
+        match scfg.Session.cover with
+        | Session.Greedy -> (chosen, covers, None, true)
+        | Session.Exact ->
+          let r =
+            Obs.phase "cover.exact" (fun () ->
+                Hitting_set.solve ~node_budget:scfg.Session.cover_budget
+                  ~max_size:config.max_multiplet ~covers ~seed:chosen m)
+          in
+          if not r.Hitting_set.complete then begin
+            if Obs.enabled () then Obs.incr c_budget_fallbacks;
+            (chosen, covers, None, false)
+          end
+          else (r.Hitting_set.cover, covers, r.Hitting_set.minimum, true))
+  in
   let net = Explain.netlist m in
   let dlog = Explain.datalog m in
   let final, score, steps =
@@ -574,6 +602,8 @@ let diagnose_matrix ?(config = default_config) m pats =
     score;
     candidates_considered = Explain.num_seeded m;
     refinement_steps = steps;
+    cover_minimum;
+    cover_complete;
   }
 
 let diagnose_session ?config session dlog =

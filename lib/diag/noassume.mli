@@ -65,6 +65,14 @@ type result = {
   score : Scoring.score;  (** Simultaneous-simulation match. *)
   candidates_considered : int;
   refinement_steps : int;  (** Accepted drop/swap moves. *)
+  cover_minimum : int option;
+      (** Under [Session.Exact]: proven minimum cover cardinality
+          ({!Hitting_set}); [None] under [Greedy], on budget fallback,
+          or when no cover within [max_multiplet] exists. *)
+  cover_complete : bool;
+      (** False only when the exact backend exhausted its node budget
+          and fell back to the greedy cover (counted as
+          ["cover.budget_fallbacks"]); always true under [Greedy]. *)
 }
 
 val diagnose_session : ?config:config -> Session.t -> Datalog.t -> result

@@ -12,6 +12,15 @@
    across domains: every field is either frozen after [create] or
    internally synchronised ([Sig_cache]). *)
 
+type cover = Greedy | Exact
+
+(* Node budget for the exact backend's whole implicit-hitting-set loop
+   (all branch-and-bound sub-solves summed).  Generous: the suite
+   circuits complete in well under 10^4 nodes; exhaustion on a
+   pathological datalog falls back to the greedy cover and is surfaced
+   (counter [cover.budget_fallbacks], [Run_report] meta). *)
+let default_cover_budget = 2_000_000
+
 type config = {
   prune : bool;  (* activation screen + class collapse in [Explain] *)
   cache : bool;  (* cross-phase signature cache *)
@@ -19,6 +28,8 @@ type config = {
   domains : int option;  (* kernel fan-out; [None] = Parallel default *)
   cache_mb : int;  (* per-instance [Sig_cache] budget *)
   prewarm : bool;  (* whole-pool sweep + [Sig_cache.freeze] at create *)
+  cover : cover;  (* covering backend: greedy (paper) or exact (minimal) *)
+  cover_budget : int;  (* exact backend's hitting-set node budget *)
 }
 
 let default_config =
@@ -29,6 +40,8 @@ let default_config =
     domains = None;
     cache_mb = Sig_cache.default_budget_mb;
     prewarm = false;
+    cover = Greedy;
+    cover_budget = default_cover_budget;
   }
 
 type t = {

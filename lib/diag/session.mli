@@ -19,6 +19,18 @@
     call allocates its own.  The volume service creates one session and
     drains thousands of datalogs against it, one diagnosis per domain. *)
 
+(** Covering backend for {!Noassume}: the paper's greedy cover, or the
+    exact minimum-cardinality cover via the implicit hitting-set loop
+    ({!Hitting_set}, DESIGN.md §13).  [Exact] seeds with the greedy
+    result as an upper bound and falls back to it (with a warning
+    counter) when [cover_budget] is exhausted, so it never produces a
+    worse multiplet than [Greedy]. *)
+type cover = Greedy | Exact
+
+val default_cover_budget : int
+(** Node budget for the whole hitting-set loop (all branch-and-bound
+    sub-solves summed); 2,000,000. *)
+
 type config = {
   prune : bool;
       (** Exactness-preserving candidate prunes in {!Explain.build}. *)
@@ -32,14 +44,19 @@ type config = {
   prewarm : bool;
       (** Run {!prewarm} (whole-pool sweep + {!Sig_cache.freeze}) as
           part of {!create}. *)
+  cover : cover;  (** Covering backend for {!Noassume} diagnoses. *)
+  cover_budget : int;
+      (** Node budget for the exact backend's hitting-set loop;
+          ignored under [Greedy]. *)
 }
 
 val default_config : config
 (** Everything on except [prewarm], [domains = None],
-    [cache_mb = Sig_cache.default_budget_mb].  No environment switch is
+    [cache_mb = Sig_cache.default_budget_mb], [cover = Greedy],
+    [cover_budget = default_cover_budget].  No environment switch is
     read here — the CLI layer resolves them once into a config record
-    ([Cli_common.session_config]), including [MDD_SIG_CACHE_MB] and
-    [MDD_PREWARM]. *)
+    ([Cli_common.session_config]), including [MDD_SIG_CACHE_MB],
+    [MDD_PREWARM], [MDD_COVER] and [MDD_COVER_BUDGET]. *)
 
 type t
 

@@ -34,8 +34,8 @@ let c_redraws = Obs.counter "campaign.redraws"
 let c_masked_trials = Obs.counter "campaign.masked_trials"
 
 let run ?(methods = all_methods) ?(config = Noassume.default_config)
-    ?(mix = Injection.default_mix) ?patterns ?layout ?domains ~name net ~multiplicity
-    ~trials ~seed =
+    ?(cover = Session.Greedy) ?(mix = Injection.default_mix) ?patterns ?layout ?domains
+    ~name net ~multiplicity ~trials ~seed =
   assert (multiplicity >= 1 && trials >= 1);
   let pats = match patterns with Some p -> p | None -> test_set net in
   let expected = Logic_sim.responses net pats in
@@ -56,7 +56,12 @@ let run ?(methods = all_methods) ?(config = Noassume.default_config)
      safely. *)
   let session =
     Session.create
-      ~config:{ Session.default_config with Session.domains = config.Noassume.domains }
+      ~config:
+        {
+          Session.default_config with
+          Session.domains = config.Noassume.domains;
+          cover;
+        }
       net pats
   in
   let run_trial trial_rng =

@@ -46,6 +46,7 @@ val test_set : Netlist.t -> Pattern.t
 val run :
   ?methods:methods ->
   ?config:Noassume.config ->
+  ?cover:Session.cover ->
   ?mix:Injection.kind_mix ->
   ?patterns:Pattern.t ->
   ?layout:Layout.t * float ->
@@ -57,9 +58,11 @@ val run :
   seed:int ->
   t
 (** Run [trials] trials.  [patterns] overrides {!test_set} (used by the
-    test-set-size sweep); [layout] constrains injected bridges/opens to
-    physically adjacent nets (the layout ablation — pass the same
-    placement in [config.layout] to let diagnosis use it too).
+    test-set-size sweep); [cover] selects the covering backend for the
+    campaign's shared session (default [Greedy]); [layout] constrains
+    injected bridges/opens to physically adjacent nets (the layout
+    ablation — pass the same placement in [config.layout] to let
+    diagnosis use it too).
 
     Trials are independent and run across [domains] OCaml domains
     ({!Parallel}'s default when omitted).  Per-trial defect draws come

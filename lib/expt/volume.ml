@@ -30,10 +30,11 @@ type die_result = {
 type net_rollup = {
   net : string;
   dies_implicated : int;
+  minimal_dies : int;
   explained_obs : int;
 }
 
-type rollup = { dies : int; diagnosed : int; nets : net_rollup list }
+type rollup = { dies : int; diagnosed : int; minimal : int; nets : net_rollup list }
 
 let c_dies = Obs.counter "volume.dies"
 
@@ -70,7 +71,15 @@ let diagnose_die ?config session d =
   let result =
     Obs.with_sink sink (fun () -> Noassume.diagnose_session ~config session d.dlog)
   in
-  let report = Run_report.capture ~sink ~meta:[ ("die", d.name) ] () in
+  let report =
+    Run_report.capture ~sink
+      ~meta:
+        [
+          ("die", d.name);
+          ("cover_complete", string_of_bool result.Noassume.cover_complete);
+        ]
+      ()
+  in
   Obs.merge sink;
   if Obs.enabled () then Obs.incr c_dies;
   {
@@ -88,26 +97,33 @@ let run ?config ?workers session dies =
 
 let rollup session results =
   let net = Session.netlist session in
-  let tbl : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
-  let bump name obs =
+  let tbl : (string, int ref * int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
+  let bump name ~minimal obs =
     match Hashtbl.find_opt tbl name with
-    | Some (dies, tot) ->
+    | Some (dies, min_dies, tot) ->
       incr dies;
+      if minimal then incr min_dies;
       tot := !tot + obs
-    | None -> Hashtbl.add tbl name (ref 1, ref obs)
+    | None -> Hashtbl.add tbl name (ref 1, ref (if minimal then 1 else 0), ref obs)
   in
+  let minimal_total = ref 0 in
   List.iter
     (fun r ->
       (* Per die: each called-out site once with its explained count;
          confirmed-bridge aggressors count as implicated with no
-         explained observations of their own. *)
+         explained observations of their own.  A die whose cover the
+         exact backend proved minimum strengthens its nets' volume
+         signal — a systematic site implicated by provably-minimal
+         multiplets is not an artefact of greedy tie-breaking. *)
+      let minimal = r.result.Noassume.cover_minimum <> None in
+      if minimal then incr minimal_total;
       let seen = Hashtbl.create 8 in
       List.iter
         (fun (c : Noassume.callout) ->
           let name = Netlist.name net c.Noassume.site in
           if not (Hashtbl.mem seen name) then begin
             Hashtbl.add seen name ();
-            bump name c.Noassume.explained_obs
+            bump name ~minimal c.Noassume.explained_obs
           end)
         r.result.Noassume.callouts;
       List.iter
@@ -115,24 +131,33 @@ let rollup session results =
           let name = Netlist.name net n in
           if not (Hashtbl.mem seen name) then begin
             Hashtbl.add seen name ();
-            bump name 0
+            bump name ~minimal 0
           end)
         (Noassume.callout_nets r.result))
     results;
   let nets =
     Hashtbl.fold
-      (fun net (dies, obs) acc ->
-        { net; dies_implicated = !dies; explained_obs = !obs } :: acc)
+      (fun net (dies, min_dies, obs) acc ->
+        { net; dies_implicated = !dies; minimal_dies = !min_dies; explained_obs = !obs }
+        :: acc)
       tbl []
     |> List.sort (fun a b ->
            match compare b.dies_implicated a.dies_implicated with
            | 0 -> (
-             match compare b.explained_obs a.explained_obs with
-             | 0 -> compare a.net b.net
+             match compare b.minimal_dies a.minimal_dies with
+             | 0 -> (
+               match compare b.explained_obs a.explained_obs with
+               | 0 -> compare a.net b.net
+               | c -> c)
              | c -> c)
            | c -> c)
   in
-  { dies = List.length results; diagnosed = List.length results; nets }
+  {
+    dies = List.length results;
+    diagnosed = List.length results;
+    minimal = !minimal_total;
+    nets;
+  }
 
 (* --- JSON rendering ------------------------------------------------- *)
 
@@ -162,6 +187,7 @@ let rollup_json ru =
           [
             ("net", Obs_json.Str n.net);
             ("dies_implicated", Obs_json.Num (float_of_int n.dies_implicated));
+            ("minimal_dies", Obs_json.Num (float_of_int n.minimal_dies));
             ("explained_obs", Obs_json.Num (float_of_int n.explained_obs));
           ])
       ru.nets
@@ -171,6 +197,7 @@ let rollup_json ru =
        [
          ("dies", Obs_json.Num (float_of_int ru.dies));
          ("diagnosed", Obs_json.Num (float_of_int ru.diagnosed));
+         ("minimal", Obs_json.Num (float_of_int ru.minimal));
          ("nets", Obs_json.List nets);
        ])
   ^ "\n"

@@ -25,10 +25,18 @@ type die_result = {
 type net_rollup = {
   net : string;
   dies_implicated : int;  (** Dies whose diagnosis called this net out. *)
+  minimal_dies : int;
+      (** Of those, dies whose cover the exact backend proved minimum
+          ([cover_minimum <> None]); 0 throughout under [Greedy]. *)
   explained_obs : int;  (** Total observations explained at this site. *)
 }
 
-type rollup = { dies : int; diagnosed : int; nets : net_rollup list }
+type rollup = {
+  dies : int;
+  diagnosed : int;
+  minimal : int;  (** Dies diagnosed with a proven-minimal cover. *)
+  nets : net_rollup list;
+}
 
 val load_dir : Session.t -> string -> die list
 (** All [*.datalog] files of a directory, sorted by name; die names are
@@ -49,9 +57,11 @@ val run :
     order whatever the worker count. *)
 
 val rollup : Session.t -> die_result list -> rollup
-(** Rank nets by how many dies implicate them (ties: explained
-    observations, then name) — the volume signal that separates a
-    systematic defect from random spot defects. *)
+(** Rank nets by how many dies implicate them (ties: dies with a
+    proven-minimal cover, then explained observations, then name) — the
+    volume signal that separates a systematic defect from random spot
+    defects.  Under [--cover=exact] the tie-break prefers sites backed
+    by provably-minimal multiplets over greedy-only implications. *)
 
 val die_json : die_result -> string
 (** One die as JSON: summary numbers, the rendered report, and the

@@ -107,6 +107,88 @@ let test_max_solutions_respected () =
   let r = Exact_cover.solve ~max_solutions:2 m in
   Alcotest.(check bool) "bounded" true (List.length r.Exact_cover.multiplets <= 2)
 
+(* [?upper_bound] restricts the search to strictly smaller covers: at
+   the known minimum the result proves emptiness (the caller's cover is
+   minimum), one above it the search still finds the optimum. *)
+let test_upper_bound_cutoff () =
+  let net = Generators.c17 () in
+  let _, _, m =
+    problem [ Defect.Stuck (g net "G10", true); Defect.Stuck (g net "G19", false) ]
+  in
+  let r = Exact_cover.solve m in
+  match (r.Exact_cover.complete, r.Exact_cover.minimum) with
+  | true, Some k ->
+    let at = Exact_cover.solve ~upper_bound:k m in
+    Alcotest.(check bool) "complete at bound" true at.Exact_cover.complete;
+    Alcotest.(check (option int)) "nothing below the minimum" None
+      at.Exact_cover.minimum;
+    Alcotest.(check bool) "no multiplets" true (at.Exact_cover.multiplets = []);
+    let above = Exact_cover.solve ~upper_bound:(k + 1) m in
+    Alcotest.(check (option int)) "minimum found below bound" (Some k)
+      above.Exact_cover.minimum
+  | _ -> Alcotest.fail "reference solve must complete with a minimum"
+
+(* --- Incremental Solver unit tests --------------------------------- *)
+
+let solve ?upper_bound ?(node_budget = 100_000) t =
+  Exact_cover.Solver.solve ?upper_bound ~node_budget t
+
+let test_solver_rejects_empty_set () =
+  let t = Exact_cover.Solver.create () in
+  Alcotest.check_raises "empty set"
+    (Invalid_argument "Exact_cover.Solver.add_set: empty set") (fun () ->
+      Exact_cover.Solver.add_set t [||])
+
+let test_solver_incremental_sets_and_floor () =
+  let t = Exact_cover.Solver.create () in
+  Exact_cover.Solver.add_set t [| 0; 1 |];
+  let o = solve t in
+  Alcotest.(check bool) "proved" true o.Exact_cover.Solver.proved;
+  Alcotest.(check (option (list int))) "one element hits" (Some [ 0 ])
+    o.Exact_cover.Solver.hitting;
+  Alcotest.(check int) "floor raised to 1" 1 (Exact_cover.Solver.lower_bound t);
+  (* A disjoint set forces a second element; the floor carries forward
+     and then rises again. *)
+  Exact_cover.Solver.add_set t [| 2; 3 |];
+  let o = solve t in
+  Alcotest.(check bool) "proved" true o.Exact_cover.Solver.proved;
+  (match o.Exact_cover.Solver.hitting with
+  | Some h -> Alcotest.(check int) "two elements" 2 (List.length h)
+  | None -> Alcotest.fail "hitting set must exist");
+  Alcotest.(check int) "floor raised to 2" 2 (Exact_cover.Solver.lower_bound t);
+  (* An overlapping set changes nothing: {1,2} is hit by neither 0 nor
+     3 necessarily, but a size-2 solution (1,2 one each) still exists. *)
+  Exact_cover.Solver.add_set t [| 1; 2 |];
+  let o = solve t in
+  (match o.Exact_cover.Solver.hitting with
+  | Some h -> Alcotest.(check int) "still two elements" 2 (List.length h)
+  | None -> Alcotest.fail "hitting set must exist");
+  Alcotest.(check int) "floor stays 2" 2 (Exact_cover.Solver.lower_bound t)
+
+let test_solver_upper_bound_proves_emptiness () =
+  let t = Exact_cover.Solver.create () in
+  Exact_cover.Solver.add_set t [| 0 |];
+  Exact_cover.Solver.add_set t [| 1 |];
+  (* Minimum is 2; below an upper bound of 2 nothing exists. *)
+  let o = solve ~upper_bound:2 t in
+  Alcotest.(check bool) "proved" true o.Exact_cover.Solver.proved;
+  Alcotest.(check (option (list int))) "nothing below the bound" None
+    o.Exact_cover.Solver.hitting;
+  Alcotest.(check int) "emptiness raises the floor to the bound" 2
+    (Exact_cover.Solver.lower_bound t);
+  let o = solve ~upper_bound:3 t in
+  Alcotest.(check (option (list int))) "optimum below a loose bound" (Some [ 0; 1 ])
+    o.Exact_cover.Solver.hitting
+
+let test_solver_budget_exhaustion () =
+  let t = Exact_cover.Solver.create () in
+  Exact_cover.Solver.add_set t [| 0; 1 |];
+  Exact_cover.Solver.add_set t [| 2; 3 |];
+  let o = Exact_cover.Solver.solve ~node_budget:1 t in
+  Alcotest.(check bool) "not proved" false o.Exact_cover.Solver.proved;
+  Alcotest.(check int) "floor untouched on unproved solve" 0
+    (Exact_cover.Solver.lower_bound t)
+
 let suite =
   [
     ( "exact_cover",
@@ -119,5 +201,14 @@ let suite =
         Alcotest.test_case "empty datalog" `Quick test_empty_datalog;
         Alcotest.test_case "budget reported" `Quick test_budget_reported;
         Alcotest.test_case "max solutions" `Quick test_max_solutions_respected;
+        Alcotest.test_case "upper bound cutoff" `Quick test_upper_bound_cutoff;
+        Alcotest.test_case "solver rejects empty set" `Quick
+          test_solver_rejects_empty_set;
+        Alcotest.test_case "solver incremental sets and floor" `Quick
+          test_solver_incremental_sets_and_floor;
+        Alcotest.test_case "solver upper bound proves emptiness" `Quick
+          test_solver_upper_bound_proves_emptiness;
+        Alcotest.test_case "solver budget exhaustion" `Quick
+          test_solver_budget_exhaustion;
       ] );
   ]
