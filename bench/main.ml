@@ -18,7 +18,12 @@
                                               # BENCH_volume.json
      dune exec bench/main.exe -- cover        # greedy vs exact minimum
                                               # cover per circuit, writes
-                                              # BENCH_cover.json *)
+                                              # BENCH_cover.json
+     dune exec bench/main.exe -- store        # cold vs prewarm vs
+                                              # snapshot-load first
+                                              # diagnose (MDD_BENCH_TIER=
+                                              # large adds rnd50k), writes
+                                              # BENCH_store.json *)
 
 let trials = ref 10
 let seed = ref 2024
@@ -195,6 +200,35 @@ let run_volume () =
       Printf.printf "(wrote %s)\n\n%!" path)
     points
 
+(* --- Persistent signature store ------------------------------------- *)
+
+(* Time-to-first-report of a fresh process: cold candidate simulation
+   vs the live prewarm sweep vs adopting a saved snapshot
+   (EXPERIMENTS Fig 1c, regression gate 8).  MDD_BENCH_TIER=large adds
+   the rnd50k point — the circuit whose full-pool arena must sit inside
+   the default 64 MB budget. *)
+let run_store () =
+  let circuits =
+    match Sys.getenv_opt "MDD_BENCH_TIER" with
+    | Some "large" -> [ "rnd2k"; "rnd50k" ]
+    | None | Some _ -> [ "rnd2k" ]
+  in
+  let report = Storebench.run ~circuits () in
+  Table.print (Storebench.to_table report);
+  let path = "BENCH_store.json" in
+  Storebench.write_json ~path report;
+  Printf.printf "(wrote %s)\n\n%!" path;
+  (* Hard acceptance, not a soft report: every circuit's full-pool
+     packed arena must sit inside the default cache budget. *)
+  List.iter
+    (fun (s : Storebench.sample) ->
+      if not s.Storebench.fits_budget then begin
+        Printf.eprintf "store bench: %s arena (%d bytes) exceeds the %d-byte budget\n"
+          s.Storebench.circuit s.Storebench.arena_bytes s.Storebench.budget_bytes;
+        exit 1
+      end)
+    report.Storebench.samples
+
 (* --- Greedy-vs-exact covering differential -------------------------- *)
 
 (* Cover-size resolution of the exact (implicit hitting-set) backend
@@ -273,6 +307,7 @@ let run_experiment name =
     | "batch" -> run_batch ()
     | "volume" -> run_volume ()
     | "cover" -> run_cover ()
+    | "store" -> run_store ()
     | _ ->
       prerr_endline ("unknown experiment: " ^ name);
       exit 2)
@@ -292,7 +327,8 @@ let () =
   Arg.parse spec (fun name -> selected := name :: !selected) "bench/main.exe [experiments]";
   let to_run =
     match List.rev !selected with
-    | [] -> List.map fst experiments @ [ "micro"; "parallel"; "batch"; "volume"; "cover" ]
+    | [] ->
+      List.map fst experiments @ [ "micro"; "parallel"; "batch"; "volume"; "cover"; "store" ]
     | l -> l
   in
   List.iter run_experiment to_run

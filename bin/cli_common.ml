@@ -116,6 +116,20 @@ let cover_arg =
     & opt (some (enum [ ("greedy", Session.Greedy); ("exact", Session.Exact) ])) None
     & info [ "cover" ] ~docv:"BACKEND" ~doc)
 
+let store_dir_arg =
+  let doc =
+    "Directory for persistent signature snapshots.  With $(b,--prewarm), \
+     a valid snapshot for this (circuit, pattern set) is loaded instead \
+     of running the sweep — the fleet pays the whole-pool simulation \
+     once per design — and a live sweep saves its arena back here.  \
+     Snapshots are validated against a digest of the problem and the \
+     encode version; a stale or corrupt file is rejected (counter \
+     store.rejects) and the run falls back to the live sweep.  The \
+     MDD_SIG_STORE environment variable is the fallback.  Results are \
+     identical either way."
+  in
+  Arg.(value & opt (some string) None & info [ "store-dir" ] ~docv:"DIR" ~doc)
+
 let cover_budget_arg =
   let doc =
     "Node budget for the exact covering backend (branch-and-bound nodes \
@@ -127,11 +141,11 @@ let cover_budget_arg =
   Arg.(value & opt (some int) None & info [ "cover-budget" ] ~docv:"N" ~doc)
 
 (* The MDD_NO_PRUNE / MDD_NO_CACHE / MDD_NO_BATCH / MDD_PREWARM /
-   MDD_SIG_CACHE_MB / MDD_COVER / MDD_COVER_BUDGET environment switches
-   are resolved here, once, into a [Session.config] record — nothing in
-   lib/ reads them.  Boolean flags only push away from the default:
-   leaving one off keeps the environment-derived setting in place,
-   mirroring [apply_domains]. *)
+   MDD_SIG_CACHE_MB / MDD_COVER / MDD_COVER_BUDGET / MDD_SIG_STORE
+   environment switches are resolved here, once, into a
+   [Session.config] record — nothing in lib/ reads them.  Boolean flags
+   only push away from the default: leaving one off keeps the
+   environment-derived setting in place, mirroring [apply_domains]. *)
 let env_off name =
   match Sys.getenv_opt name with None | Some "" -> false | Some _ -> true
 
@@ -161,8 +175,12 @@ let env_cover_budget () =
     | Some n when n >= 1 -> Some n
     | Some _ | None -> None)
 
-let session_config ?(prewarm = false) ?cache_mb ?cover ?cover_budget ~no_prune
-    ~no_cache ~no_batch ~domains () =
+(* MDD_SIG_STORE fallback: any non-empty value is a directory path. *)
+let env_store_dir () =
+  match Sys.getenv_opt "MDD_SIG_STORE" with None | Some "" -> None | Some dir -> Some dir
+
+let session_config ?(prewarm = false) ?cache_mb ?cover ?cover_budget ?store_dir
+    ~no_prune ~no_cache ~no_batch ~domains () =
   let cache_mb =
     match cache_mb with
     | Some mb when mb >= 1 -> mb
@@ -183,6 +201,7 @@ let session_config ?(prewarm = false) ?cache_mb ?cover ?cover_budget ~no_prune
       | Some n -> n
       | None -> Session.default_cover_budget)
   in
+  let store_dir = match store_dir with Some _ as d -> d | None -> env_store_dir () in
   {
     Session.prune = not (no_prune || env_off "MDD_NO_PRUNE");
     cache = not (no_cache || env_off "MDD_NO_CACHE");
@@ -192,6 +211,7 @@ let session_config ?(prewarm = false) ?cache_mb ?cover ?cover_budget ~no_prune
     prewarm = prewarm || env_off "MDD_PREWARM";
     cover;
     cover_budget;
+    store_dir;
   }
 
 (* Resolved-configuration metadata for `--stats` reports: read back from
@@ -210,6 +230,7 @@ let config_meta (c : Session.config) =
     ("cache_mb", string_of_int c.Session.cache_mb);
     ("prewarm", if c.Session.prewarm then "on" else "off");
     ("cover", match c.Session.cover with Session.Greedy -> "greedy" | Session.Exact -> "exact");
+    ("store_dir", match c.Session.store_dir with Some d -> d | None -> "off");
   ]
 
 (* Pattern source: an explicit file, or the in-repo ATPG flow. *)

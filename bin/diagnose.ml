@@ -72,12 +72,12 @@ let read_file path =
   text
 
 let run bench suite patterns_file datalog_file batch_dir serve workers out method_
-    no_validate no_prune no_cache no_batch prewarm cache_mb cover cover_budget domains
-    stats =
+    no_validate no_prune no_cache no_batch prewarm cache_mb cover cover_budget store_dir
+    domains stats =
   Cli_common.apply_domains domains;
   let scfg =
-    Cli_common.session_config ~prewarm ?cache_mb ?cover ?cover_budget ~no_prune
-      ~no_cache ~no_batch ~domains ()
+    Cli_common.session_config ~prewarm ?cache_mb ?cover ?cover_budget ?store_dir
+      ~no_prune ~no_cache ~no_batch ~domains ()
   in
   let stats_dest = Cli_common.init_stats stats in
   let net = Cli_common.or_die (Cli_common.load_circuit bench suite) in
@@ -222,7 +222,7 @@ let cmd =
       $ datalog_arg $ batch_dir_arg $ serve_arg $ workers_arg $ out_arg $ method_arg
       $ no_validate_arg $ Cli_common.no_prune_arg $ Cli_common.no_cache_arg
       $ Cli_common.no_batch_arg $ Cli_common.prewarm_arg $ Cli_common.cache_mb_arg
-      $ Cli_common.cover_arg $ Cli_common.cover_budget_arg $ Cli_common.domains_arg
-      $ Cli_common.stats_arg)
+      $ Cli_common.cover_arg $ Cli_common.cover_budget_arg $ Cli_common.store_dir_arg
+      $ Cli_common.domains_arg $ Cli_common.stats_arg)
 
 let () = exit (Cmd.eval cmd)

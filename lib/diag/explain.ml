@@ -271,8 +271,12 @@ let build_session session dlog =
   let mispredict_pass = Array.make (max 1 nrows) 0 in
   (* Cache probe, sequential on the calling domain (deterministic hit
      pattern and eviction order within one build).  Rows found warm are
-     replayed after the parallel region; only the misses simulate. *)
-  let hit = Array.make (max 1 nrows) None in
+     replayed after the parallel region; only the misses simulate.
+     Frozen rows are only flagged here — the replay streams them out of
+     the packed arena ([Sig_cache.iter_frozen]) without materialising
+     an array per row; mutable-tier rows keep the shared boxed array so
+     a FIFO eviction between probe and replay cannot lose them. *)
+  let hit = Array.make (max 1 nrows) Sig_cache.Cold in
   let miss = ref [] in
   let nmiss = ref 0 in
   (match scache with
@@ -283,11 +287,11 @@ let build_session session dlog =
     done
   | Some sc ->
     for r = nrows - 1 downto 0 do
-      match Sig_cache.find sc row_key.(r) with
-      | Some triples -> hit.(r) <- Some triples
-      | None ->
+      match Sig_cache.probe sc row_key.(r) with
+      | Sig_cache.Cold ->
         miss := r :: !miss;
         incr nmiss
+      | (Sig_cache.Frozen | Sig_cache.Warm _) as h -> hit.(r) <- h
     done);
   let miss = Array.of_list !miss in
   let reach = Session.reach session in
@@ -505,12 +509,10 @@ let build_session session dlog =
     done;
     for r = 0 to nrows - 1 do
       match hit.(r) with
-      | None -> ()
-      | Some triples ->
+      | Sig_cache.Cold -> ()
+      | (Sig_cache.Frozen | Sig_cache.Warm _) as h ->
         let rc = covers.(r) in
         let ro = r * nfp in
-        let i = ref 0 in
-        let n = Array.length triples in
         let prev_bi = ref (-1) in
         let any = ref 0 in
         let flush () =
@@ -523,8 +525,7 @@ let build_session session dlog =
           end;
           any := 0
         in
-        while !i < n do
-          let bi = triples.(!i) and oi = triples.(!i + 1) and d = triples.(!i + 2) in
+        let visit bi oi d =
           if bi <> !prev_bi then begin
             flush ();
             prev_bi := bi
@@ -547,9 +548,18 @@ let build_session session dlog =
             ws := !ws land (!ws - 1);
             let fp = fp_of_pattern.(base + k) in
             spurious.(ro + fp) <- spurious.(ro + fp) + 1
-          done;
-          i := !i + 3
-        done;
+          done
+        in
+        (match h with
+        | Sig_cache.Warm triples ->
+          let i = ref 0 in
+          let n = Array.length triples in
+          while !i < n do
+            visit triples.(!i) triples.(!i + 1) triples.(!i + 2);
+            i := !i + 3
+          done
+        | Sig_cache.Frozen -> Sig_cache.iter_frozen sc row_key.(r) visit
+        | Sig_cache.Cold -> ());
         flush ()
     done);
   Obs.span_end sp_replay;
@@ -606,6 +616,7 @@ let build ?domains ?prune ?cache ?batch net pats dlog =
       prewarm = false;
       cover = d.Session.cover;
       cover_budget = d.Session.cover_budget;
+      store_dir = d.Session.store_dir;
     }
   in
   build_session (Session.create ~config net pats) dlog

@@ -30,6 +30,7 @@ type config = {
   prewarm : bool;  (* whole-pool sweep + [Sig_cache.freeze] at create *)
   cover : cover;  (* covering backend: greedy (paper) or exact (minimal) *)
   cover_budget : int;  (* exact backend's hitting-set node budget *)
+  store_dir : string option;  (* snapshot dir: load instead of sweeping, save after *)
 }
 
 let default_config =
@@ -42,6 +43,7 @@ let default_config =
     prewarm = false;
     cover = Greedy;
     cover_budget = default_cover_budget;
+    store_dir = None;
   }
 
 type t = {
@@ -295,18 +297,46 @@ let prewarm t =
               cold;
             if Obs.enabled () then Fault_sim.publish_stats sim
           end;
-        Array.iteri
-          (fun i f ->
-            Sig_cache.store c (Sig_cache.key ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck)
-              out.(i))
-          cold;
-        Sig_cache.freeze c;
+        (* Hand the sweep results straight to the packer instead of
+           routing them through the mutable tier: [store] would evict
+           FIFO once the pool outgrew the word budget (rnd50k's
+           100k-fault pool would), and evicted entries can't be frozen.
+           [~extra] bypasses the budget, so the arena always holds the
+           complete pool. *)
+        let extra =
+          Array.mapi
+            (fun i f ->
+              (Sig_cache.key ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck, out.(i)))
+            cold
+        in
+        Sig_cache.freeze ~extra c;
         if Obs.enabled () then Obs.add c_prewarm_faults n;
         n)
 
 let create ?config ?sink net pats =
   let t = make ?config ?sink net pats in
-  if t.config.prewarm then ignore (with_sink t (fun () -> prewarm t) : int);
+  if t.config.prewarm then
+    ignore
+      (with_sink t (fun () ->
+           (* Load-or-sweep: a valid snapshot publishes the frozen tier
+              with zero simulation; anything else (no dir, no file, or a
+              rejected file — [store.rejects]) falls through to the live
+              sweep, which is then saved so the next process loads. *)
+           let loaded =
+             match (t.cache, t.config.store_dir) with
+             | Some c, Some dir -> Sig_cache.load_frozen ~dir c
+             | _ -> false
+           in
+           if loaded then 0
+           else begin
+             let n = prewarm t in
+             (match (t.cache, t.config.store_dir) with
+             | Some c, Some dir when Sig_cache.is_frozen c ->
+               ignore (Sig_cache.save_frozen ~dir c : bool)
+             | _ -> ());
+             n
+           end)
+        : int);
   t
 
 (* Expansion mirror of [Sig_cache.signature_of_triples], usable when the

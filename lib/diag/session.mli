@@ -48,15 +48,24 @@ type config = {
   cover_budget : int;
       (** Node budget for the exact backend's hitting-set loop;
           ignored under [Greedy]. *)
+  store_dir : string option;
+      (** Signature-snapshot directory ([--store-dir]/[MDD_SIG_STORE]).
+          With [prewarm], {!create} first tries
+          {!Sig_cache.load_frozen} from here — a valid snapshot replaces
+          the whole sweep with one file read — and saves the arena back
+          ({!Sig_cache.save_frozen}) after a live sweep, so the fleet
+          pays the sweep once per (netlist, pattern set).  Ignored
+          without [prewarm] or with [cache] off. *)
 }
 
 val default_config : config
 (** Everything on except [prewarm], [domains = None],
     [cache_mb = Sig_cache.default_budget_mb], [cover = Greedy],
-    [cover_budget = default_cover_budget].  No environment switch is
-    read here — the CLI layer resolves them once into a config record
-    ([Cli_common.session_config]), including [MDD_SIG_CACHE_MB],
-    [MDD_PREWARM], [MDD_COVER] and [MDD_COVER_BUDGET]. *)
+    [cover_budget = default_cover_budget], [store_dir = None].  No
+    environment switch is read here — the CLI layer resolves them once
+    into a config record ([Cli_common.session_config]), including
+    [MDD_SIG_CACHE_MB], [MDD_PREWARM], [MDD_COVER], [MDD_COVER_BUDGET]
+    and [MDD_SIG_STORE]. *)
 
 type t
 
@@ -66,15 +75,22 @@ val create : ?config:config -> ?sink:Obs.sink -> Netlist.t -> Pattern.t -> t
     (from the cache instance when available) and the PO-reachability
     screen.  Creation is the expensive, once-per-problem step; every
     diagnosis against the session then starts warm.  When
-    [config.prewarm], also runs {!prewarm} (under the session's sink if
-    any), so the session comes back already frozen. *)
+    [config.prewarm], also warms the frozen tier (under the session's
+    sink if any), so the session comes back already frozen: with
+    [config.store_dir] it first tries {!Sig_cache.load_frozen} — zero
+    simulation on a hit — and otherwise runs {!prewarm}, saving the
+    swept arena back to the store for the next process.  Reports served
+    from a loaded snapshot are byte-identical to the live-sweep path. *)
 
 val prewarm : t -> int
 (** Fill the signature cache for the {e whole} fault pool — class
     representatives when [config.prune], the full fault universe
     otherwise — in one fork-join PPSFP sweep over
     {!Fault_sim.prepare_batch} slabs (shared good slab, per-slot delta
-    slabs, 512-fault tiles), then {!Sig_cache.freeze} it.  Every later
+    slabs, 512-fault tiles), then {!Sig_cache.freeze} it (sweep results
+    go to the packer as [~extra] entries, bypassing the mutable tier's
+    eviction budget so the arena always holds the complete pool).
+    Every later
     probe of the session's cache is a lock-free frozen-tier read; the
     mutable tier stays available for keys outside the pool.  Returns
     the number of faults simulated, counted as ["prewarm.faults"] under

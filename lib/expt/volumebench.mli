@@ -30,6 +30,11 @@ type report = {
       (** One-time {!Session.prewarm} sweep + freeze cost — amortises
           over the die count (the rnd50k cold-start number). *)
   samples : sample list;
+  skipped_workers : int list;
+      (** Requested arms with more workers than
+          [Domain.recommended_domain_count ()] — oversubscription can
+          only regress, so they are recorded here (and in the JSON)
+          instead of timed. *)
 }
 
 val run :
@@ -43,11 +48,15 @@ val run :
   unit ->
   report
 (** Defaults: rnd2k, workers 1/2/4, 3 runs/point, 8 dies of
-    multiplicity 3, 4 blocks of seeded-random patterns, seed 99. *)
+    multiplicity 3, 4 blocks of seeded-random patterns, seed 99.
+    Worker counts above the available cores are not timed — they land
+    in [skipped_workers]. *)
 
 val best_speedup : report -> float
-(** Best lazy-arm [speedup_vs_1] over the multi-worker arms — what the
-    regression gate floors ([min_volume_throughput]). *)
+(** Best lazy-arm [speedup_vs_1] over the {e timed} multi-worker arms —
+    what the regression gate floors ([min_volume_throughput]); [0.0]
+    when every multi-worker arm was skipped (single-core host), which
+    the gate treats as "no signal", not a regression. *)
 
 val best_prewarm_speedup : report -> float
 (** Best frozen-over-lazy throughput ratio across all worker counts —

@@ -85,17 +85,85 @@ val peek : t -> int -> int array option
     which keys are still cold ([Session.prewarm]), so the hit/miss
     split only ever reflects probes a diagnosis actually made. *)
 
-val freeze : t -> unit
-(** Snapshot the mutable tier into the frozen tier and publish it: an
-    immutable [int array option array] indexed directly by {!key}, read
-    by {!find}/{!peek} with no locks (one [Atomic.get] publishes the
-    snapshot safely across domains; the entries themselves are
-    immutable).  The mutable tier stays live for keys the snapshot
-    lacks — stores after the freeze land there and are still found.
-    Idempotent; re-freezing re-snapshots. *)
+type probe_result =
+  | Frozen  (** In the frozen arena — stream it with {!iter_frozen}. *)
+  | Warm of int array  (** In the mutable tier (the shared boxed array). *)
+  | Cold  (** Not cached. *)
+
+val probe : t -> int -> probe_result
+(** Where a key lives, with {!find}'s counter semantics but {e without}
+    decoding the frozen arena — [Frozen] answers from the presence
+    bitmap alone.  Replay loops that consume triples one at a time pair
+    this with {!iter_frozen} and never allocate; callers that need the
+    whole array use {!find}.  A [Warm] array is shared, so holding it
+    keeps the row immune to FIFO eviction between probe and use. *)
+
+val iter_frozen : t -> int -> (int -> int -> int -> unit) -> unit
+(** Stream one frozen key's triples as [f block po_word diff_word]
+    calls, in canonical order, decoding straight out of the arena with
+    no allocation.  The key must be in the frozen tier (a {!probe} that
+    answered [Frozen] — the tier is immutable, so the answer cannot go
+    stale); raises [Invalid_argument] otherwise.  Touches no
+    counters. *)
+
+val freeze : ?extra:(int * int array) array -> t -> unit
+(** Pack the mutable tier into the frozen arena and publish it: one
+    contiguous byte slab of varint-delta-encoded triples with a flat
+    per-key offset index (no hashing, no per-key boxing — DESIGN.md
+    §12), read by {!find}/{!peek} with no locks (one [Atomic.get]
+    publishes the arena safely across domains; the bytes are never
+    written again).  [extra] entries are packed as well, {e without}
+    passing through the mutable tier or its eviction budget —
+    [Session.prewarm] hands its whole-pool sweep results here so a
+    100k-fault pool freezes complete instead of FIFO-evicting mid-sweep.
+    The mutable tier stays live for keys the arena lacks — stores after
+    the freeze land there and are still found.  Idempotent; re-freezing
+    re-snapshots.  Publishes the arena footprint as the
+    ["cache.frozen_bytes"] counter. *)
 
 val is_frozen : t -> bool
-(** Whether {!freeze} has published a frozen tier on this instance. *)
+(** Whether {!freeze} or {!load_frozen} has published a frozen tier on
+    this instance. *)
+
+val frozen_bytes : t -> int
+(** Resident footprint of the published arena in bytes (slab + offset
+    index + presence bitmap); 0 before a freeze. *)
+
+val frozen_boxed_bytes : t -> int
+(** What the pre-arena boxed representation ([int array option array])
+    of the same entries would occupy, in bytes — the packing ratio's
+    denominator, quoted by [bench store]. *)
+
+(** {1 Disk snapshots}
+
+    The frozen arena is position-independent bytes, so it doubles as an
+    on-disk format: a volume fleet pays the whole-pool prewarm sweep
+    once per (netlist, pattern set) and every later process adopts the
+    arena with zero simulation.  Files are named by a digest of the
+    netlist structure and validated against a header carrying the
+    encode version and a digest of (netlist structure, pattern set) —
+    plus a content digest over the body — so a snapshot either
+    reproduces the live sweep byte for byte or is rejected (counter
+    ["store.rejects"]) and the caller falls back to prewarming.
+    Counters: ["store.saves"], ["store.loads"], ["store.rejects"]. *)
+
+val save_frozen : dir:string -> t -> bool
+(** Write the published arena under [dir] (created if missing),
+    atomically (temp file + rename).  False when nothing is frozen yet
+    or the write failed; true bumps ["store.saves"]. *)
+
+val load_frozen : dir:string -> t -> bool
+(** Read, validate and publish a snapshot from [dir] as this instance's
+    frozen tier — no simulation.  False when no file exists (a cold
+    fleet, not counted) or validation rejected it (truncation, foreign
+    magic, stale encode version, problem-digest mismatch, body
+    corruption — each bumping ["store.rejects"]); the instance is left
+    exactly as it was, so the caller's live-prewarm fallback sees a
+    clean cache.  True bumps ["store.loads"]. *)
+
+val store_path : dir:string -> t -> string
+(** The snapshot file {!save_frozen}/{!load_frozen} use for this
+    problem under [dir] (exposed for tests and tooling). *)
 
 val store : t -> int -> int array -> unit
 (** Insert (or overwrite) a key's triples, evicting FIFO-oldest entries

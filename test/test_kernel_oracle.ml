@@ -331,6 +331,63 @@ let prop_explain_batch_ab_identity =
         explain_equal batched scalar && explain_equal batched warm
       end)
 
+(* --- Packed frozen arena against scalar-computed triples ------------ *)
+
+(* The frozen tier answers [find] by decoding the varint arena and
+   [iter_frozen] by streaming it; both must reproduce, bit for bit, the
+   triples the scalar simulator computed into the mutable tier — and
+   still must after a save/load cycle replaces the arena with bytes
+   read back from disk. *)
+let prop_packed_arena_matches_scalar =
+  QCheck.Test.make
+    ~name:"packed frozen arena (in-memory and loaded) decodes = scalar triples"
+    ~count:10
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let net = Generators.random_logic ~gates:(40 + (seed mod 60)) ~pis:6 ~pos:5 ~seed in
+      let pats = Pattern.random (Rng.create (seed * 3)) ~npis:6 ~count:70 in
+      Sig_cache.clear ();
+      let c = Sig_cache.for_problem net pats in
+      let sim = Fault_sim.create net in
+      let faults = Fault_list.representatives (Fault_list.collapse net) in
+      let reference =
+        List.map
+          (fun (f : Fault_list.fault) ->
+            let k = Sig_cache.key ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck in
+            ( k,
+              Array.copy
+                (Sig_cache.lookup c sim ~site:f.Fault_list.site ~stuck:f.Fault_list.stuck)
+            ))
+          faults
+      in
+      Sig_cache.freeze c;
+      let agrees cache =
+        List.for_all
+          (fun (k, triples) ->
+            let decoded = Sig_cache.find cache k = Some triples in
+            let streamed =
+              match Sig_cache.probe cache k with
+              | Sig_cache.Frozen ->
+                let buf = ref [] in
+                Sig_cache.iter_frozen cache k (fun bi oi w -> buf := w :: oi :: bi :: !buf);
+                Array.of_list (List.rev !buf) = triples
+              | Sig_cache.Warm _ | Sig_cache.Cold -> false
+            in
+            decoded && streamed)
+          reference
+      in
+      let dir = Filename.temp_file "mddoracle" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o755;
+      let saved = Sig_cache.save_frozen ~dir c in
+      let in_memory = agrees c in
+      Sig_cache.clear ();
+      let c2 = Sig_cache.for_problem net pats in
+      let loaded = Sig_cache.load_frozen ~dir c2 in
+      let from_disk = agrees c2 in
+      Sig_cache.clear ();
+      saved && loaded && in_memory && from_disk)
+
 let suite =
   [
     ( "kernel-oracle",
@@ -343,5 +400,6 @@ let suite =
           prop_batch_delta_matches_scalar;
           prop_evaluate_multiplet_batch_identity;
           prop_explain_batch_ab_identity;
+          prop_packed_arena_matches_scalar;
         ] );
   ]

@@ -131,6 +131,59 @@ let prop_prewarm_identical =
         Sig_cache.clear ();
         String.equal frozen lazy_warm && String.equal frozen off)
 
+(* Disk round trip through the session layer, at 1 and 4 domains: a
+   session that adopts its frozen tier from a snapshot (store.loads =
+   1, zero simulation) must render the same bytes as the prewarming
+   session that saved it and as a cache-off session — the packed
+   arena's decode is the same whether the bytes came from a live
+   freeze or from disk, and the domain count may change neither. *)
+let prop_store_round_trip_identical =
+  QCheck.Test.make
+    ~name:"store round trip: loaded session = prewarm = cache-off (1 and 4 domains)"
+    ~count:2
+    QCheck.(pair (int_range 1 100_000) (int_range 2 3))
+    (fun (seed, multiplicity) ->
+      match make_dlog seed multiplicity with
+      | None -> true
+      | Some dlog ->
+        let dir = Filename.temp_file "mddsession" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        let render session =
+          Report.render (Lazy.force net) (Noassume.diagnose_session session dlog)
+        in
+        let with_domains d base = { base with Session.domains = Some d } in
+        let ok =
+          List.for_all
+            (fun domains ->
+              let base =
+                with_domains domains
+                  {
+                    (config ~prune:true ~cache:true ~batch:true) with
+                    Session.prewarm = true;
+                    store_dir = Some dir;
+                  }
+              in
+              (* First create sweeps live and saves the snapshot... *)
+              let saver = render (cold_session base) in
+              (* ...the second must adopt it from disk: a prewarm that
+                 actually loaded leaves prewarm.faults at zero. *)
+              let loaded_session = cold_session base in
+              (match Session.cache loaded_session with
+              | Some c when Sig_cache.is_frozen c -> ()
+              | Some _ -> QCheck.Test.fail_report "loaded session not frozen"
+              | None -> QCheck.Test.fail_report "loaded session lost its cache");
+              let loaded = render loaded_session in
+              let off =
+                render
+                  (cold_session (with_domains domains (config ~prune:true ~cache:false ~batch:true)))
+              in
+              String.equal saver loaded && String.equal saver off)
+            [ 1; 4 ]
+        in
+        Sig_cache.clear ();
+        ok)
+
 (* Request-level parallelism on a frozen cache: 4 workers hammering the
    lock-free read path must reproduce the sequential drain byte for
    byte. *)
@@ -259,6 +312,7 @@ let suite =
             prop_all_combos_identical;
             prop_concurrent_matches_sequential;
             prop_prewarm_identical;
+            prop_store_round_trip_identical;
             prop_frozen_concurrent_matches_sequential;
           ] );
   ]
